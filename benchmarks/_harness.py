@@ -1,0 +1,68 @@
+"""Shared machinery for the benchmark harnesses.
+
+Every ``bench_*.py`` in this directory regenerates one table or figure from
+the paper. Each file works in two modes:
+
+- as a pytest-benchmark suite (``pytest benchmarks/ --benchmark-only``):
+  micro-benchmarks of the operation the experiment times, at a scale that
+  finishes in milliseconds;
+- as a standalone script (``python benchmarks/bench_tableX_*.py``):
+  regenerates the full table. The default preset is *reduced* (smaller
+  dimensions / iterations / seeds so a CPU finishes in minutes); pass
+  ``--paper`` for the paper's exact parameters (V100-cluster scale — only
+  sensible for the analytic-model harnesses).
+
+The experimental protocol itself (§5.1 architectures, optimiser settings,
+MCMC defaults) lives in :mod:`repro.experiments.protocol`; this module just
+re-exports it and adds harness-side conveniences (CLI, table helpers).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.experiments.protocol import (  # noqa: F401 — re-exported
+    TrainOutcome,
+    build_model,
+    build_optimizer,
+    build_sampler,
+    make_hamiltonian,
+    train_once,
+)
+from repro.utils.tables import format_table  # noqa: F401 — re-exported
+
+__all__ = [
+    "PAPER_DIMS",
+    "build_model",
+    "build_sampler",
+    "build_optimizer",
+    "make_hamiltonian",
+    "train_once",
+    "TrainOutcome",
+    "parse_args",
+    "format_table",
+    "mean_std",
+]
+
+PAPER_DIMS = (20, 50, 100, 200, 500)
+
+
+def parse_args(description: str) -> argparse.Namespace:
+    """Standard CLI for all harnesses: --paper for full parameters."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="use the paper's full parameters (V100-cluster scale; the "
+        "measured harnesses will be very slow on CPU)",
+    )
+    parser.add_argument("--seeds", type=int, default=None, help="override #seeds")
+    parser.add_argument("--iters", type=int, default=None, help="override #iterations")
+    return parser.parse_args()
+
+
+def mean_std(values) -> tuple[float, float]:
+    arr = np.asarray(values, dtype=np.float64)
+    return float(arr.mean()), float(arr.std())

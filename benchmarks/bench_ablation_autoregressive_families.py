@@ -1,0 +1,93 @@
+"""Ablation — autoregressive families: MADE (masked) vs RNN (recurrent).
+
+The paper's §3 situates its MADE choice against the recurrent wavefunctions
+of Hibat-Allah et al. [18]. Both are normalised and exactly sampled; they
+differ in parameter scaling (MADE: O(hn) grows with the problem; RNN:
+O(h²) constant) and in how information propagates (direct masked links vs
+a recurrent bottleneck). This bench compares converged energy, parameter
+count and time on TIM instances, plus the mean-field ansatz as the floor.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import format_table, parse_args  # noqa: E402
+
+from repro.core import VQMC  # noqa: E402
+from repro.exact import ground_state  # noqa: E402
+from repro.hamiltonians import TransverseFieldIsing  # noqa: E402
+from repro.models import MADE, MeanField, RNNWaveFunction  # noqa: E402
+from repro.optim import SGD, StochasticReconfiguration  # noqa: E402
+from repro.samplers import AutoregressiveSampler  # noqa: E402
+
+
+def _train(model, ham, iterations, batch, seed, lr=0.05) -> tuple[float, float]:
+    vqmc = VQMC(
+        model, ham, AutoregressiveSampler(),
+        SGD(model.parameters(), lr=lr),
+        sr=StochasticReconfiguration(), seed=seed,
+    )
+    t0 = time.perf_counter()
+    vqmc.run(iterations, batch_size=batch)
+    wall = time.perf_counter() - t0
+    return vqmc.evaluate(batch).mean, wall
+
+
+def bench_rnn_step(benchmark):
+    ham = TransverseFieldIsing.random(20, seed=1)
+    model = RNNWaveFunction(20, hidden=16, rng=np.random.default_rng(0))
+    vqmc = VQMC(model, ham, AutoregressiveSampler(),
+                SGD(model.parameters(), lr=0.05),
+                sr=StochasticReconfiguration(), seed=2)
+    benchmark(lambda: vqmc.step(batch_size=64))
+
+
+def main() -> None:
+    args = parse_args(__doc__.splitlines()[0])
+    iterations = args.iters or 150
+    batch = 256
+    dims = (8, 12) if not args.paper else (8, 12, 16)
+
+    rows = []
+    for n in dims:
+        ham = TransverseFieldIsing.random(n, seed=n)
+        exact = ground_state(ham).energy if n <= 16 else None
+        # The RNN shares weights across all n sites, so a natural-gradient
+        # step moves every conditional at once — it needs a smaller lr than
+        # the masked families to stay stable.
+        for label, factory, lr in (
+            ("MeanField",
+             lambda n=n: MeanField(n, rng=np.random.default_rng(0)), 0.05),
+            ("MADE h=5(log n)^2",
+             lambda n=n: MADE(n, rng=np.random.default_rng(0)), 0.05),
+            ("RNN h=32",
+             lambda n=n: RNNWaveFunction(n, hidden=32,
+                                         rng=np.random.default_rng(0)), 0.02),
+        ):
+            model = factory()
+            energy, wall = _train(model, ham, iterations, batch, seed=1, lr=lr)
+            rel = (energy - exact) / abs(exact) if exact is not None else float("nan")
+            rows.append([n, label, model.num_parameters(), energy, f"{rel:.2%}", wall])
+    print(format_table(
+        ["n", "ansatz", "params", "energy", "rel. error", "time (s)"],
+        rows,
+        title=f"Autoregressive-family ablation (TIM, SGD+SR, {iterations} iters)",
+        precision=3,
+    ))
+    print(
+        "\nExpected shape: both autoregressive families land near the exact\n"
+        "energy with MADE slightly ahead at small n (direct connections);\n"
+        "the mean-field floor shows what the correlations are worth. The\n"
+        "RNN's parameter count is n-independent — its advantage at the\n"
+        "paper's 10K-dimension scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

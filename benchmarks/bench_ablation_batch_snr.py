@@ -1,0 +1,82 @@
+"""Ablation — gradient signal-to-noise: the mechanism behind Figure 4.
+
+Figure 4 shows the converged energy improving with effective batch size,
+saturating earlier for smaller problems. The mechanism: the stochastic
+gradient's noise scales as tr(Σ)/B, so returns diminish once B passes the
+*critical batch size* ``B_crit = tr(Σ)/‖g‖²``. This harness measures B_crit
+across problem sizes and training stages:
+
+- B_crit grows with n → larger problems keep benefiting from more
+  GPUs/effective batch (Fig. 4's non-saturating large-n curves);
+- B_crit grows as training converges (the signal ‖g‖ shrinks faster than
+  the noise) → late-stage training is where big batches pay off.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import format_table, parse_args  # noqa: E402
+
+from repro.core import VQMC, gradient_noise  # noqa: E402
+from repro.hamiltonians import TransverseFieldIsing  # noqa: E402
+from repro.models import MADE  # noqa: E402
+from repro.optim import Adam  # noqa: E402
+from repro.samplers import AutoregressiveSampler  # noqa: E402
+
+
+def bench_gradient_noise_eval(benchmark):
+    ham = TransverseFieldIsing.random(20, seed=1)
+    model = MADE(20, rng=np.random.default_rng(0))
+    x = model.sample(256, np.random.default_rng(1))
+    benchmark(lambda: gradient_noise(model, ham, x))
+
+
+def main() -> None:
+    args = parse_args(__doc__.splitlines()[0])
+    dims = (10, 20, 40) if not args.paper else (20, 50, 100, 200)
+    probe_batch = 4096
+
+    rows = []
+    for n in dims:
+        ham = TransverseFieldIsing.random(n, seed=n)
+        model = MADE(n, rng=np.random.default_rng(0))
+        vqmc = VQMC(model, ham, AutoregressiveSampler(),
+                    Adam(model.parameters()), seed=1)
+        rng = np.random.default_rng(2)
+
+        stages = {}
+        x = model.sample(probe_batch, rng)
+        stages["init"] = gradient_noise(model, ham, x)
+        vqmc.run(40, batch_size=256)
+        x = model.sample(probe_batch, rng)
+        stages["mid (40 it)"] = gradient_noise(model, ham, x)
+        vqmc.run(160, batch_size=256)
+        x = model.sample(probe_batch, rng)
+        stages["late (200 it)"] = gradient_noise(model, ham, x)
+
+        for stage, s in stages.items():
+            rows.append([
+                n, stage, f"{np.linalg.norm(s.mean):.3g}",
+                f"{s.variance.sum():.3g}", f"{s.critical_batch:.0f}",
+            ])
+    print(format_table(
+        ["n", "stage", "‖grad‖", "tr Σ", "B_crit"],
+        rows,
+        title=f"Gradient SNR ablation (probe batch {probe_batch})",
+    ))
+    print(
+        "\nExpected shape: B_crit grows with n at initialisation, and rises\n"
+        "sharply once a run approaches convergence (‖grad‖ collapses faster\n"
+        "than the noise — visible at the sizes the iteration budget actually\n"
+        "converges). Together these produce Figure 4's 'saturates for small\n"
+        "problems, keeps improving for large ones'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Ablation — collective algorithms: ring vs recursive doubling vs naive.
+
+DESIGN.md's distributed layer implements three allreduce algorithms over
+the same point-to-point channels. This bench measures them on the thread
+backend across payload sizes and world sizes, and cross-checks the
+analytic α–β model's predictions (latency-bound → recursive doubling wins;
+bandwidth-bound → ring wins).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import format_table, parse_args  # noqa: E402
+
+from repro.cluster.comm_model import allreduce_time  # noqa: E402
+from repro.distributed import run_threaded  # noqa: E402
+
+
+def _measure(alg: str, world: int, payload: int, repeats: int = 5) -> float:
+    def worker(comm, rank):
+        comm.algorithm = alg
+        arr = np.ones(payload)
+        comm.barrier()
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            comm.allreduce(arr)
+        return (time.perf_counter() - t0) / repeats
+
+    return max(run_threaded(worker, world))
+
+
+def bench_allreduce_ring_threads(benchmark):
+    benchmark(lambda: _measure("ring", 4, 10_000, repeats=1))
+
+
+def bench_allreduce_rec_double_threads(benchmark):
+    benchmark(lambda: _measure("rec_double", 4, 10_000, repeats=1))
+
+
+def bench_allreduce_naive_threads(benchmark):
+    benchmark(lambda: _measure("naive", 4, 10_000, repeats=1))
+
+
+def main() -> None:
+    parse_args(__doc__.splitlines()[0])
+    rows = []
+    for world in (4, 8):
+        for payload in (64, 10_000, 1_000_000):
+            times = {
+                alg: _measure(alg, world, payload) * 1e3
+                for alg in ("ring", "rec_double", "naive")
+            }
+            best = min(times, key=times.get)
+            rows.append([world, payload, times["ring"], times["rec_double"],
+                         times["naive"], best])
+    print(format_table(
+        ["L", "payload (floats)", "ring (ms)", "rec_double (ms)",
+         "naive (ms)", "winner"],
+        rows,
+        title="Collective-algorithm ablation (thread backend)",
+    ))
+
+    # Analytic model's prediction for a V100-cluster-like fabric.
+    rows = []
+    for payload in (64, 10_000, 1_000_000):
+        ring = allreduce_time(payload, 8, 12.5e9, 2e-6) * 1e6
+        # Recursive doubling: log2(L) rounds, full payload each round.
+        rd = (np.log2(8) * (2e-6 + payload * 4 / 12.5e9)) * 1e6
+        rows.append([payload, ring, rd, "rec_double" if rd < ring else "ring"])
+    print()
+    print(format_table(
+        ["payload (floats)", "ring (µs)", "rec_double (µs)", "model winner"],
+        rows,
+        title="α–β model (L=8, IB 12.5 GB/s, 2 µs latency)",
+    ))
+    print("\nExpected: recursive doubling wins tiny payloads (latency-bound),\n"
+          "ring wins large payloads (bandwidth-optimal 2(L-1)/L factor).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Ablation — gradient estimator paths: autograd tape vs per-sample matrix.
+
+The VQMC driver supports two mathematically identical gradient paths
+(verified equal in the tests):
+
+- ``autograd``: one backward pass through the tape — O(forward) memory,
+  cheapest when only the mean gradient is needed;
+- ``per_sample``: the closed-form (B, d) score matrix — more memory/compute
+  but required by stochastic reconfiguration, which consumes O anyway.
+
+This bench quantifies the cost difference and the SR overhead on top.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import format_table, parse_args  # noqa: E402
+
+from repro.core.vqmc import VQMC, VQMCConfig  # noqa: E402
+from repro.hamiltonians import TransverseFieldIsing  # noqa: E402
+from repro.models import MADE  # noqa: E402
+from repro.optim import SGD, StochasticReconfiguration  # noqa: E402
+from repro.samplers import AutoregressiveSampler  # noqa: E402
+
+
+def _make(n: int, mode: str, sr: bool):
+    model = MADE(n, rng=np.random.default_rng(0))
+    ham = TransverseFieldIsing.random(n, seed=1)
+    return VQMC(
+        model, ham, AutoregressiveSampler(),
+        SGD(model.parameters(), lr=0.1),
+        sr=StochasticReconfiguration() if sr else None,
+        seed=2,
+        config=VQMCConfig(gradient_mode=mode),
+    )
+
+
+def _time_steps(vqmc, batch: int, steps: int = 5) -> float:
+    vqmc.step(batch_size=batch)  # warm-up
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        vqmc.step(batch_size=batch)
+    return (time.perf_counter() - t0) / steps
+
+
+def bench_step_autograd(benchmark):
+    vqmc = _make(30, "autograd", sr=False)
+    benchmark(lambda: vqmc.step(batch_size=128))
+
+
+def bench_step_per_sample(benchmark):
+    vqmc = _make(30, "per_sample", sr=False)
+    benchmark(lambda: vqmc.step(batch_size=128))
+
+
+def bench_step_per_sample_sr(benchmark):
+    vqmc = _make(30, "per_sample", sr=True)
+    benchmark(lambda: vqmc.step(batch_size=128))
+
+
+def main() -> None:
+    parse_args(__doc__.splitlines()[0])
+    rows = []
+    for n in (20, 50, 100):
+        t_auto = _time_steps(_make(n, "autograd", False), batch=256) * 1e3
+        t_ps = _time_steps(_make(n, "per_sample", False), batch=256) * 1e3
+        t_sr = _time_steps(_make(n, "per_sample", True), batch=256) * 1e3
+        rows.append([n, t_auto, t_ps, t_sr, t_ps / t_auto, t_sr / t_ps])
+    print(format_table(
+        ["n", "autograd (ms)", "per-sample (ms)", "per-sample+SR (ms)",
+         "ps/auto", "sr/ps"],
+        rows,
+        title="Gradient-path ablation (bs=256, per training step)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Table 3 — ablation on the latent size h (cut quality and training time).
+
+Paper's observations:
+1. best cuts come from a moderate h (between 3(log n)² and n); too small
+   underfits, too large (n²) hurts;
+2. on GPU, time barely grows with h until the arithmetic saturates the
+   device — MADE "falls off" only at h = n² scale.
+
+Reduced preset: Max-Cut n ∈ {16, 30}, h ∈ {(log n)², 3(log n)², 5(log n)²,
+n, 5n}; ``--paper`` adds n² and the paper's sizes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import format_table, mean_std, parse_args, train_once  # noqa: E402
+
+from repro.hamiltonians import MaxCut  # noqa: E402
+
+
+def latent_grid(n: int, paper: bool) -> dict[str, int]:
+    log2 = np.log(n) ** 2
+    grid = {
+        "(log n)^2": max(1, round(log2)),
+        "3(log n)^2": max(1, round(3 * log2)),
+        "5(log n)^2": max(1, round(5 * log2)),
+        "n": n,
+        "5n": 5 * n,
+    }
+    if paper:
+        grid["n^2"] = n * n
+    return grid
+
+
+def bench_made_forward_small_latent(benchmark):
+    from repro.models import MADE
+
+    model = MADE(50, hidden=15, rng=np.random.default_rng(0))
+    x = (np.random.default_rng(1).random((256, 50)) < 0.5).astype(float)
+    benchmark(lambda: model.log_prob(x))
+
+
+def bench_made_forward_large_latent(benchmark):
+    from repro.models import MADE
+
+    model = MADE(50, hidden=250, rng=np.random.default_rng(0))
+    x = (np.random.default_rng(1).random((256, 50)) < 0.5).astype(float)
+    benchmark(lambda: model.log_prob(x))
+
+
+def main() -> None:
+    args = parse_args(__doc__.splitlines()[0])
+    iterations = args.iters or (300 if args.paper else 60)
+    dims = (50, 100, 200, 500) if args.paper else (16, 30)
+    batch = 1024 if args.paper else 256
+    seeds = range(args.seeds or (5 if args.paper else 2))
+
+    for arch in ("made", "rbm"):
+        cut_rows, time_rows = [], []
+        for n in dims:
+            ham = MaxCut.random(n, seed=n)
+            grid = latent_grid(n, args.paper)
+            cut_row, time_row = [n], [n]
+            for label, h in grid.items():
+                cuts, times = [], []
+                for s in seeds:
+                    out = train_once(
+                        ham, arch, "auto" if arch == "made" else "mcmc",
+                        "adam", iterations, batch, seed=s, hidden=h,
+                    )
+                    cuts.append(out.best_cut)
+                    times.append(out.train_seconds)
+                cut_row.append(mean_std(cuts))
+                time_row.append(float(np.mean(times)))
+            cut_rows.append(cut_row)
+            time_rows.append(time_row)
+        headers = ["n"] + list(latent_grid(dims[0], args.paper))
+        print(format_table(
+            headers, cut_rows,
+            title=f"Table 3 — {arch.upper()}: cut vs latent size", precision=1,
+        ))
+        print(format_table(
+            headers, time_rows,
+            title=f"Table 3 — {arch.upper()}: training time (s) vs latent size",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Table 6 — raw data: converged energy and time per GPU configuration.
+
+Paper's layout: nine GPU configurations (1×1 … 6×4), mbs = 4 per GPU, TIM
+problems n ∈ {20, …, 10000}; per cell the converged energy and run time.
+
+Reproduction:
+- energies: real data-parallel runs (thread backend) at reduced n, with
+  effective batch 4·L — the energy column of Table 6;
+- times: the calibrated V100 cost model at the paper's dimensions —
+  flat across configurations (time depends on n and mbs only).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import format_table, parse_args  # noqa: E402
+
+from repro.cluster import calibrate_to_table1  # noqa: E402
+from repro.distributed.data_parallel import run_data_parallel  # noqa: E402
+from repro.hamiltonians import TransverseFieldIsing  # noqa: E402
+from repro.models import MADE  # noqa: E402
+from repro.optim import Adam  # noqa: E402
+from repro.samplers import AutoregressiveSampler  # noqa: E402
+
+CONFIGS = [(1, 1), (1, 2), (1, 4), (2, 2), (2, 4), (4, 2), (4, 4), (8, 2), (6, 4)]
+
+
+def bench_vqmc_mbs4_step(benchmark):
+    """The Table 6 unit of work: one step at mbs=4."""
+    from repro.core import VQMC
+
+    model = MADE(50, rng=np.random.default_rng(0))
+    ham = TransverseFieldIsing.random(50, seed=1)
+    vqmc = VQMC(model, ham, AutoregressiveSampler(), Adam(model.parameters()), seed=2)
+    benchmark(lambda: vqmc.step(batch_size=4))
+
+
+def main() -> None:
+    args = parse_args(__doc__.splitlines()[0])
+    dims_measured = (12, 24) if not args.paper else (20, 50, 100)
+    iterations = args.iters or (300 if args.paper else 100)
+
+    # -- measured energy block -------------------------------------------------
+    rows = []
+    for n_nodes, gpn in CONFIGS:
+        L = n_nodes * gpn
+        row = [f"{n_nodes}x{gpn}"]
+        for n in dims_measured:
+            def build(rank, n=n):
+                model = MADE(n, rng=np.random.default_rng(0))
+                ham = TransverseFieldIsing.random(n, seed=n)
+                return model, ham, AutoregressiveSampler(), Adam(model.parameters())
+
+            res = run_data_parallel(build, L, iterations=iterations,
+                                    mini_batch_size=4, seed=3)
+            tail = max(5, iterations // 4)
+            row.append(float(np.mean(res.energy[-tail:])))
+        rows.append(row)
+    print(format_table(
+        ["config"] + [f"n={n}" for n in dims_measured],
+        rows,
+        title=f"Table 6 (measured energies, mbs=4/rank, {iterations} iters)",
+    ))
+
+    # -- model time block at paper scale ---------------------------------------
+    made_model, _ = calibrate_to_table1()
+    dims = (20, 50, 100, 200, 500, 1000, 2000, 5000, 10000)
+    rows = []
+    for n_nodes, gpn in CONFIGS:
+        row = [f"{n_nodes}x{gpn}"] + [
+            made_model.training_time(n, 4, 300, n_nodes=n_nodes, gpus_per_node=gpn)
+            for n in dims
+        ]
+        rows.append(row)
+    print()
+    print(format_table(
+        ["config"] + [f"n={n}" for n in dims],
+        rows,
+        title="Table 6 (model, time in s for 300 iters, mbs=4/GPU)",
+    ))
+    print(
+        "\nExpected shape (paper): times constant down each column (weak\n"
+        "scaling); energies improve down each column (bigger effective batch)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Regenerate every experiment table into ``benchmarks/out/``.
+
+Runs each ``bench_*.py`` harness's ``main()`` in its reduced preset and
+tees the output to ``benchmarks/out/<name>.txt``. The full set takes tens
+of minutes on one CPU; pass harness names to run a subset:
+
+    python benchmarks/run_all.py                 # everything
+    python benchmarks/run_all.py table1 fig3     # substring filter
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib.util
+import io
+import pathlib
+import sys
+import time
+import traceback
+
+BENCH_DIR = pathlib.Path(__file__).parent
+OUT_DIR = BENCH_DIR / "out"
+
+
+def discover() -> list[pathlib.Path]:
+    return sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def run_one(path: pathlib.Path) -> tuple[bool, float]:
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    buffer = io.StringIO()
+    start = time.perf_counter()
+    ok = True
+    # Harness main()s parse sys.argv — present them a clean one.
+    old_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        with contextlib.redirect_stdout(buffer):
+            spec.loader.exec_module(module)
+            module.main()
+    except Exception:  # noqa: BLE001 — recorded per harness, run continues
+        ok = False
+        buffer.write("\n" + traceback.format_exc())
+    finally:
+        sys.argv = old_argv
+    elapsed = time.perf_counter() - start
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{path.stem}.txt").write_text(buffer.getvalue(), encoding="utf-8")
+    return ok, elapsed
+
+
+def main(filters: list[str]) -> int:
+    targets = [
+        p for p in discover()
+        if not filters or any(f in p.stem for f in filters)
+    ]
+    if not targets:
+        print(f"no harness matches {filters!r}")
+        return 1
+    failures = 0
+    for path in targets:
+        print(f"[{path.stem}] running ...", flush=True)
+        ok, elapsed = run_one(path)
+        status = "ok" if ok else "FAILED"
+        print(f"[{path.stem}] {status} in {elapsed:.1f}s "
+              f"→ out/{path.stem}.txt")
+        failures += not ok
+    print(f"\n{len(targets) - failures}/{len(targets)} harnesses succeeded; "
+          f"outputs in {OUT_DIR}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

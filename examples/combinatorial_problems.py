@@ -1,0 +1,106 @@
+"""VQMC as a general combinatorial-optimisation heuristic (paper §2.4).
+
+Max-Cut is just one member of the QUBO family the paper's framework covers.
+This example solves three classic problems with the same VQMC stack —
+Sherrington-Kirkpatrick spin glass, number partitioning, and maximum
+independent set — and checks each against brute force. It also shows
+saving/loading a problem instance as JSON for reproducible benchmarking.
+
+Run:  python examples/combinatorial_problems.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import networkx as nx
+import numpy as np
+
+from repro import MADE, VQMC
+from repro.exact import brute_force_ground_state
+from repro.hamiltonians import (
+    load_instance,
+    max_independent_set,
+    number_partitioning,
+    save_instance,
+    sherrington_kirkpatrick,
+)
+from repro.optim import SGD, StochasticReconfiguration
+from repro.samplers import AutoregressiveSampler
+
+
+def solve(ham, iterations=150, batch=512, seed=0):
+    model = MADE(ham.n, rng=np.random.default_rng(seed))
+    vqmc = VQMC(
+        model, ham, AutoregressiveSampler(),
+        SGD(model.parameters(), lr=0.1),
+        sr=StochasticReconfiguration(), seed=seed + 1,
+    )
+    vqmc.run(iterations, batch_size=batch)
+    x = AutoregressiveSampler().sample(model, 2048, np.random.default_rng(2))
+    best = int(np.argmin(ham.diagonal(x)))
+    return float(ham.diagonal(x[best : best + 1])[0]), x[best]
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # 1. Sherrington–Kirkpatrick spin glass -----------------------------------
+    sk = sherrington_kirkpatrick(14, seed=1)
+    exact_e, _ = brute_force_ground_state(sk)
+    vqmc_e, _ = solve(sk)
+    print("Sherrington-Kirkpatrick (n=14)")
+    print(f"  VQMC ground energy {vqmc_e:.4f}  |  exact {exact_e:.4f}  "
+          f"|  per-spin {vqmc_e/14:.4f} (Parisi limit ≈ -0.7632)\n")
+
+    # 2. Number partitioning ---------------------------------------------------
+    # A golf-course landscape: direct optimisation stalls far from the
+    # optimum. Two standard tricks fix it: normalise the weights (keeps the
+    # QUBO coefficients O(1) so gradients are well-scaled) and *anneal* from
+    # the transverse-field driver to the target (repro.core.annealing).
+    from repro.core.annealing import AnnealingCallback, AnnealingSchedule
+
+    weights = rng.integers(1, 50, size=16).astype(float)
+    scale = weights.std()
+    npart = number_partitioning(weights / scale)
+    exact_e, _ = brute_force_ground_state(number_partitioning(weights))
+
+    sched = AnnealingSchedule(npart, total_steps=200)
+    model = MADE(16, hidden=32, rng=np.random.default_rng(0))
+    vqmc = VQMC(
+        model, sched.hamiltonian(0), AutoregressiveSampler(),
+        SGD(model.parameters(), lr=0.05),
+        sr=StochasticReconfiguration(), seed=1,
+    )
+    vqmc.run(300, batch_size=512, callbacks=[AnnealingCallback(vqmc, sched)])
+    x = AutoregressiveSampler().sample(model, 4096, np.random.default_rng(2))
+    best = int(np.argmin(npart.diagonal(x)))
+    bits = x[best]
+    s1 = weights[bits == 1].sum()
+    s0 = weights[bits == 0].sum()
+    print(f"Number partitioning (16 weights, total {weights.sum():.0f}; annealed)")
+    print(f"  VQMC split {s1:.0f} / {s0:.0f}  (residual² = {(s1-s0)**2:.0f}; "
+          f"best possible {exact_e:.0f})\n")
+
+    # 3. Maximum independent set -----------------------------------------------
+    g = nx.gnp_random_graph(16, 0.3, seed=3)
+    mis = max_independent_set(g)
+    exact_e, _ = brute_force_ground_state(mis)
+    vqmc_e, bits = solve(mis)
+    chosen = [v for v in range(16) if bits[v] == 1.0]
+    valid = not any(g.has_edge(u, v) for u in chosen for v in chosen if u != v)
+    print(f"Maximum independent set (G(16, 0.3), |E|={g.number_of_edges()})")
+    print(f"  VQMC set size {-vqmc_e:.0f} (valid: {valid})  |  "
+          f"optimum {-exact_e:.0f}\n")
+
+    # 4. Instances as artifacts ---------------------------------------------------
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as fh:
+        save_instance(sk, fh.name)
+        again = load_instance(fh.name)
+    x = (rng.random((4, 14)) < 0.5).astype(float)
+    assert np.allclose(sk.diagonal(x), again.diagonal(x))
+    print(f"Instance round-trip through JSON OK → {fh.name}")
+
+
+if __name__ == "__main__":
+    main()

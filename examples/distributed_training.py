@@ -1,0 +1,59 @@
+"""Data-parallel VQMC across OS processes (the paper's §4 scheme, for real).
+
+Each rank is a separate process with its own MADE replica. Per step every
+rank draws its own mini-batch, computes local energies and gradients, and a
+ring allreduce averages the gradients so all replicas apply the identical
+update — the exact communication pattern of the paper's multi-GPU runs,
+with processes standing in for GPUs.
+
+Demonstrates Figure 4's effect: with the per-rank batch fixed, adding ranks
+grows the effective batch and improves the converged energy.
+
+Run:  python examples/distributed_training.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.data_parallel import run_data_parallel
+from repro.hamiltonians import TransverseFieldIsing
+from repro.models import MADE
+from repro.optim import Adam
+from repro.samplers import AutoregressiveSampler
+
+N = 16
+MBS = 8  # per-rank mini-batch ("per-GPU batch" in the paper)
+
+
+def builder(rank: int):
+    """Called once inside each rank to build its replica."""
+    model = MADE(N, rng=np.random.default_rng(0))
+    ham = TransverseFieldIsing.random(N, seed=99)
+    return model, ham, AutoregressiveSampler(), Adam(model.parameters())
+
+
+def main() -> None:
+    print(f"TIM n={N}, mbs={MBS} per rank, 150 iterations, process backend\n")
+    print(f"{'ranks':>5s} {'eff. batch':>10s} {'final E':>12s} {'E std':>8s} {'wall (s)':>9s}")
+    for world_size in (1, 2, 4):
+        res = run_data_parallel(
+            builder,
+            world_size,
+            iterations=150,
+            mini_batch_size=MBS,
+            seed=5,
+            backend="processes" if world_size > 1 else "threads",
+        )
+        print(
+            f"{world_size:5d} {res.effective_batch_size:10d} "
+            f"{res.final_energy:12.4f} {res.final_std:8.3f} {res.wall_time:9.2f}"
+        )
+    print(
+        "\nLarger effective batches explore more of the state space per step\n"
+        "(Figure 4): the converged energy improves as ranks are added."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Max-Cut with VQMC as a combinatorial-optimisation heuristic (paper §5.3).
+
+Solves a random Max-Cut instance four ways and compares:
+
+1. Random cut (0.5-approximation baseline),
+2. Goemans-Williamson (SDP relaxation + hyperplane rounding, 0.878-approx),
+3. Burer-Monteiro (low-rank SDP + local search — the paper's best baseline),
+4. VQMC with a MADE wavefunction, exact sampling and SR — the paper's method.
+
+At this size the true optimum is available by brute force, so each method's
+approximation ratio is printed. Also shows the networkx entry point.
+
+Run:  python examples/maxcut_solver.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import networkx as nx
+
+from repro import MADE, VQMC
+from repro.baselines import BurerMonteiro, GoemansWilliamson, random_cut
+from repro.exact import brute_force_max_cut
+from repro.hamiltonians import MaxCut
+from repro.optim import SGD, StochasticReconfiguration
+from repro.samplers import AutoregressiveSampler
+
+
+def vqmc_cut(ham: MaxCut, iterations: int = 150, batch: int = 512) -> float:
+    model = MADE(ham.n, rng=np.random.default_rng(0))
+    vqmc = VQMC(
+        model, ham, AutoregressiveSampler(),
+        SGD(model.parameters(), lr=0.1),
+        sr=StochasticReconfiguration(), seed=1,
+    )
+    vqmc.run(iterations, batch_size=batch)
+    samples = AutoregressiveSampler().sample(model, 2048, np.random.default_rng(2))
+    return float(ham.cut_value(samples).max())
+
+
+def main() -> None:
+    n = 18
+    ham = MaxCut.random(n, seed=7)
+    w = ham.adjacency
+    optimum, _ = brute_force_max_cut(w)
+    print(f"Random Max-Cut instance: n={n}, |E|={ham.num_edges()}, optimum={optimum}")
+    print()
+
+    results = {
+        "Random cut": random_cut(w, seed=0).value,
+        "Goemans-Williamson": GoemansWilliamson(rounds=100).solve(w, seed=0).value,
+        "Burer-Monteiro": BurerMonteiro(rounds=100, restarts=3).solve(w, seed=0).value,
+        "VQMC (MADE+AUTO+SR)": vqmc_cut(ham),
+    }
+    for name, value in results.items():
+        print(f"{name:<22s} cut = {value:6.1f}   ratio = {value / optimum:.3f}")
+
+    # networkx entry point: any weighted graph works.
+    print("\nnetworkx example — Petersen graph:")
+    g = nx.petersen_graph()
+    ham_g = MaxCut.from_graph(g)
+    opt_g, _ = brute_force_max_cut(ham_g.adjacency)
+    cut_g = vqmc_cut(ham_g, iterations=100, batch=256)
+    print(f"VQMC cut {cut_g:.0f} / optimum {opt_g:.0f} "
+          f"(Petersen max cut is {int(opt_g)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Why MCMC limits VQMC scalability — the paper's §2.2/§4 argument, measured.
+
+Runs random-walk Metropolis-Hastings on RBM wavefunctions of growing
+dimension and reports the quantities that degrade:
+
+- integrated autocorrelation time of the chain's energy trace
+  (effective sample size shrinks as 1/tau),
+- Gelman-Rubin R-hat across independent chains (mixing),
+- forward-pass cost per batch vs the AUTO sampler's flat n passes,
+- the Eq. 14 parallel-efficiency slope b collapsing as burn-in grows.
+
+Run:  python examples/mcmc_diagnostics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.efficiency import mcmc_slope
+from repro.core.energy import local_energies
+from repro.hamiltonians import TransverseFieldIsing
+from repro.models import RBM
+from repro.samplers import MetropolisSampler
+from repro.samplers.diagnostics import gelman_rubin, integrated_autocorr_time
+from repro.tensor.tensor import no_grad
+
+
+def chain_energy_trace(model, ham, steps: int, rng) -> np.ndarray:
+    """Energy of a single MH chain at every step (the mixing observable)."""
+    sampler = MetropolisSampler(n_chains=1, burn_in=0, thin=1, persistent=True)
+    trace = np.empty(steps)
+    for t in range(steps):
+        x = sampler.sample(model, 1, rng)
+        trace[t] = local_energies(model, ham, x)[0]
+    return trace
+
+
+def main() -> None:
+    print(f"{'n':>5s} {'tau_int':>8s} {'ESS/1k':>7s} {'R-hat':>6s} "
+          f"{'MCMC passes':>12s} {'AUTO passes':>12s}")
+    for n in (8, 16, 32, 64):
+        ham = TransverseFieldIsing.random(n, seed=n)
+        model = RBM(n, rng=np.random.default_rng(0), init_std=0.3)
+
+        rng = np.random.default_rng(1)
+        trace = chain_energy_trace(model, ham, steps=1000, rng=rng)
+        tau = integrated_autocorr_time(trace)
+
+        # R-hat over 4 chains' energy traces.
+        chains = np.stack([
+            chain_energy_trace(model, ham, 300, np.random.default_rng(10 + c))
+            for c in range(4)
+        ])
+        rhat = gelman_rubin(chains)
+
+        sampler = MetropolisSampler(n_chains=2)  # paper defaults: k = 3n+100
+        mcmc_passes = sampler.predicted_forward_passes(n, batch_size=1024)
+        print(f"{n:5d} {tau:8.1f} {1000/tau:7.0f} {rhat:6.3f} "
+              f"{mcmc_passes:12d} {n:12d}")
+
+    print("\nParallel-efficiency slope b of Eq. 14 (speedup = a + bL), 64 "
+          "samples per unit:")
+    for k in (0, 100, 400, 1600):
+        print(f"  burn-in k={k:5d}:  b = {mcmc_slope(64, k):.3f}"
+              f"{'   (ideal)' if k == 0 else ''}")
+    print(
+        "\nTakeaway: correlations (tau) grow with n while b collapses with\n"
+        "the burn-in the larger problem needs — the two walls the paper\n"
+        "removes by switching to exact autoregressive sampling."
+    )
+
+
+if __name__ == "__main__":
+    main()

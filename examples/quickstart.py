@@ -1,0 +1,60 @@
+"""Quickstart: find the ground state of a disordered quantum spin model.
+
+Builds a 10-spin transverse-field Ising model with random couplings,
+trains a MADE autoregressive wavefunction by VQMC with exact sampling and
+stochastic reconfiguration, and checks the answer against exact
+diagonalisation (possible at this size — that's the point of a quickstart).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MADE, VQMC
+from repro.core import History, ProgressPrinter
+from repro.exact import lanczos_ground_state
+from repro.hamiltonians import TransverseFieldIsing
+from repro.optim import SGD, StochasticReconfiguration
+from repro.samplers import AutoregressiveSampler
+
+
+def main() -> None:
+    n = 10
+    ham = TransverseFieldIsing.random(n, seed=42)
+    print(f"Hamiltonian: {ham}")
+
+    # The trial wavefunction: a masked autoencoder whose sigmoid outputs are
+    # the autoregressive conditionals p(x_i = 1 | x_<i). Normalisation is
+    # structural, so we can sample from |psi|^2 exactly — no Markov chains.
+    model = MADE(n, rng=np.random.default_rng(0))
+    print(f"Model: MADE with h={model.hidden}, {model.num_parameters()} parameters")
+
+    vqmc = VQMC(
+        model,
+        ham,
+        sampler=AutoregressiveSampler(),
+        optimizer=SGD(model.parameters(), lr=0.1),
+        sr=StochasticReconfiguration(diag_shift=1e-3),  # natural gradient
+        seed=1,
+    )
+    history = History()
+    vqmc.run(200, batch_size=512, callbacks=[history, ProgressPrinter(every=50)])
+
+    final = vqmc.evaluate(batch_size=4096)
+    exact = lanczos_ground_state(ham)
+    print()
+    print(f"VQMC energy : {final.mean:.6f} ± {final.sem:.6f}")
+    print(f"exact energy: {exact.energy:.6f}  (Lanczos, {exact.iterations} iterations)")
+    print(f"relative err: {abs(final.mean - exact.energy) / abs(exact.energy):.2e}")
+    print(f"local-energy std (→ 0 at an eigenstate): {final.std:.4f}")
+
+    # The zero-variance principle in action: the std of the local energy
+    # (Figure 2's blue curve) collapses as training converges.
+    stds = history.as_arrays()["std"]
+    print(f"std over training: start {stds[:5].mean():.3f} → end {stds[-5:].mean():.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Lattice TFIM beyond exact diagonalisation, validated by Jordan-Wigner.
+
+Exact diagonalisation dies around 20 sites; the periodic 1-D transverse-
+field Ising chain, however, has a free-fermion closed form at *any* size.
+This example trains VQMC on a 40-site critical chain — a 2⁴⁰-dimensional
+eigenproblem — and scores it against the analytic ground energy, something
+none of the dense disordered models in the paper permit.
+
+Run:  python examples/tfim_chain.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MADE, VQMC
+from repro.core import History, ProgressPrinter
+from repro.hamiltonians import LatticeTFIM, tfim_chain_exact_energy
+from repro.optim import Adam
+from repro.samplers import AutoregressiveSampler
+
+
+def main() -> None:
+    n = 40
+    ham = LatticeTFIM((n,), coupling=1.0, field=1.0)  # critical point
+    exact = tfim_chain_exact_energy(n, 1.0, 1.0)
+    print(f"Periodic TFIM chain, n={n}, critical Γ=J=1")
+    print(f"Hilbert-space dimension: 2^{n} ≈ {2.0**n:.2e}")
+    print(f"Jordan-Wigner exact ground energy: {exact:.6f} "
+          f"(per site {exact/n:.6f}; thermodynamic limit -4/π ≈ {-4/np.pi:.6f})\n")
+
+    model = MADE(n, hidden=[64, 64], rng=np.random.default_rng(0))  # deep MADE
+    vqmc = VQMC(
+        model, ham, AutoregressiveSampler(),
+        Adam(model.parameters(), lr=0.01), seed=1,
+    )
+    history = History()
+    vqmc.run(400, batch_size=256, callbacks=[history, ProgressPrinter(every=100)])
+
+    final = vqmc.evaluate(batch_size=2048)
+    rel = abs(final.mean - exact) / abs(exact)
+    print()
+    print(f"VQMC energy : {final.mean:.4f} ± {final.sem:.4f}")
+    print(f"exact (JW)  : {exact:.4f}")
+    print(f"relative err: {rel:.2%}  |  local-energy std: {final.std:.3f}")
+
+
+if __name__ == "__main__":
+    main()

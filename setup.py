@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP-660 editable
+installs (which build a wheel) fail; ``pip install -e .`` falls back to this
+``setup.py develop`` path. Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

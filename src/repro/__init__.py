@@ -1,0 +1,38 @@
+"""repro — scalable variational quantum Monte Carlo with exact autoregressive sampling.
+
+Reproduction of "Overcoming barriers to scalability in variational quantum
+Monte Carlo" (Zhao, De, Chen, Stokes, Veerapaneni — SC 2021).
+
+The package is organised bottom-up:
+
+- :mod:`repro.tensor` — reverse-mode autograd engine on numpy.
+- :mod:`repro.nn` — neural-network modules (masked/plain linear layers).
+- :mod:`repro.models` — wavefunction ansätze: MADE and RBM.
+- :mod:`repro.hamiltonians` — sparse-row Hamiltonians (TIM, Max-Cut, QUBO).
+- :mod:`repro.samplers` — exact autoregressive sampling and Metropolis MCMC.
+- :mod:`repro.optim` — SGD / Adam / stochastic reconfiguration.
+- :mod:`repro.core` — the VQMC training driver.
+- :mod:`repro.distributed` — communicators + collectives (data parallelism).
+- :mod:`repro.cluster` — analytic GPU-cluster performance/memory model.
+- :mod:`repro.exact` — exact diagonalisation for validation.
+- :mod:`repro.manifolds` — Riemannian optimisation substrate.
+- :mod:`repro.baselines` — Random / Goemans-Williamson / Burer-Monteiro.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.vqmc import VQMC, VQMCConfig  # noqa: F401
+from repro.models.made import MADE  # noqa: F401
+from repro.models.rbm import RBM  # noqa: F401
+from repro.models.mean_field import MeanField  # noqa: F401
+from repro.models.rnn import RNNWaveFunction  # noqa: F401
+
+__all__ = [
+    "VQMC",
+    "VQMCConfig",
+    "MADE",
+    "RBM",
+    "MeanField",
+    "RNNWaveFunction",
+    "__version__",
+]

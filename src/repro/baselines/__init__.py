@@ -1,0 +1,27 @@
+"""Classical Max-Cut baselines (Table 2's first three rows).
+
+- :func:`random_cut` — the 0.5-approximation (uniform random partition).
+- :class:`GoemansWilliamson` — SDP relaxation + random-hyperplane rounding
+  (0.878-approximation). The SDP is solved by Burer–Monteiro factorisation
+  at a provably sufficient rank (p ≥ ⌈√(2n)⌉ ⇒ no spurious local optima),
+  using our Riemannian solvers — replacing the paper's CVXPY dependency.
+- :class:`BurerMonteiro` — the low-rank non-convex reformulation solved with
+  the Riemannian trust-region method (the paper's Manopt baseline), with
+  hyperplane rounding and 1-opt local search.
+"""
+
+from repro.baselines.result import CutResult
+from repro.baselines.random_cut import random_cut
+from repro.baselines.goemans_williamson import GoemansWilliamson
+from repro.baselines.burer_monteiro import BurerMonteiro
+from repro.baselines.local_search import one_opt_local_search
+from repro.baselines.nes import NaturalEvolutionStrategies
+
+__all__ = [
+    "CutResult",
+    "random_cut",
+    "GoemansWilliamson",
+    "BurerMonteiro",
+    "one_opt_local_search",
+    "NaturalEvolutionStrategies",
+]

@@ -1,0 +1,83 @@
+"""Burer–Monteiro low-rank Max-Cut (the paper's strongest classical baseline).
+
+Identical factorised problem to :mod:`goemans_williamson` but framed the way
+the paper uses it (Burer & Monteiro 2001 + Riemannian trust region, as in
+Manopt's ``maxcut`` example; Journée et al. 2010): solve at modest rank,
+round, polish with 1-opt local search, and keep the best over restarts.
+In Table 2 this baseline achieves the best cut at every size; the local
+search and restarts are what push it past plain GW.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.goemans_williamson import hyperplane_rounding, maxcut_sdp_problem
+from repro.baselines.local_search import one_opt_local_search
+from repro.baselines.result import CutResult
+from repro.manifolds import RiemannianTrustRegion
+from repro.utils.rng import as_generator, spawn_generators
+
+__all__ = ["BurerMonteiro"]
+
+
+class BurerMonteiro:
+    """Low-rank SDP heuristic with rounding + local search + restarts.
+
+    Parameters
+    ----------
+    rank:
+        Factorisation rank p; ``None`` → ``⌈√(2n)⌉ + 1``.
+    rounds:
+        Hyperplane roundings per restart.
+    restarts:
+        Independent solver restarts (best cut kept).
+    """
+
+    def __init__(
+        self,
+        rank: int | None = None,
+        rounds: int = 100,
+        restarts: int = 1,
+        local_search: bool = True,
+        solver: RiemannianTrustRegion | None = None,
+    ):
+        if restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {restarts}")
+        self.rank = rank
+        self.rounds = rounds
+        self.restarts = restarts
+        self.local_search = local_search
+        self.solver = solver or RiemannianTrustRegion(max_iter=300, grad_tol=1e-6)
+
+    def solve(
+        self, adjacency: np.ndarray, seed: int | None | np.random.Generator = None
+    ) -> CutResult:
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        n = adjacency.shape[0]
+        rank = self.rank or min(n, int(math.ceil(math.sqrt(2.0 * n))) + 1)
+        rngs = spawn_generators(as_generator(seed), self.restarts)
+
+        total = float(np.triu(adjacency, 1).sum())
+        best: CutResult | None = None
+        for rng in rngs:
+            problem = maxcut_sdp_problem(adjacency, rank)
+            opt = self.solver.solve(problem, rng=rng)
+            bits, value = hyperplane_rounding(opt.point, adjacency, rng, self.rounds)
+            if self.local_search:
+                bits, value = one_opt_local_search(adjacency, bits)
+            if best is None or value > best.value:
+                best = CutResult(
+                    value=value,
+                    bits=bits,
+                    info={
+                        "sdp_bound": total / 2.0 - opt.cost,
+                        "rank": rank,
+                        "solver_iterations": opt.iterations,
+                    },
+                )
+        assert best is not None
+        best.info["restarts"] = self.restarts
+        return best

@@ -1,0 +1,47 @@
+"""1-opt local search for Max-Cut (greedy single-vertex moves).
+
+Repeatedly move the vertex whose side-switch most increases the cut until
+no single move helps. Each sweep is O(n²) via incremental gain updates;
+used as the polish step after hyperplane rounding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.result import cut_of_partition
+
+__all__ = ["one_opt_local_search"]
+
+
+def one_opt_local_search(
+    adjacency: np.ndarray, bits: np.ndarray, max_moves: int | None = None
+) -> tuple[np.ndarray, float]:
+    """Improve a partition to 1-opt local optimality.
+
+    Returns ``(bits, cut_value)``. The gain of flipping vertex i is
+    ``Σ_j w_ij z_i z_j`` (its signed agreement with its neighbourhood):
+    positive gain ⇔ the flip increases the cut by that amount. Each move
+    strictly increases the cut, so termination is guaranteed; ``max_moves``
+    (default ``50 n``) is a safety valve for weighted near-ties.
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    bits = np.asarray(bits, dtype=np.float64).copy()
+    z = 1.0 - 2.0 * bits
+    gains = z * (adjacency @ z)  # flip gains for every vertex
+    if max_moves is None:
+        max_moves = 50 * bits.size
+
+    for _ in range(max_moves):
+        i = int(np.argmax(gains))
+        if gains[i] <= 1e-12:
+            break
+        # Flip i; update z and all gains incrementally (O(n)).
+        z_i_old = z[i]
+        z[i] = -z[i]
+        bits[i] = 1.0 - bits[i]
+        # For j ≠ i the gain changes by 2 w_ij z_j (z_i_new − z_i_old)·… —
+        # recompute from the definition for clarity at O(n):
+        gains += 2.0 * adjacency[i] * z * z[i]
+        gains[i] = z[i] * (adjacency[i] @ z)
+    return bits, cut_of_partition(adjacency, bits)

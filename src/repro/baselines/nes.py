@@ -1,0 +1,116 @@
+"""Natural evolution strategies (NES) over the binary hypercube.
+
+The paper (§2.4, citing Zhao et al. 2020) notes that VQMC applied to a
+*diagonal* Hamiltonian — i.e. a classical objective ``f(x)`` — "is
+equivalent to natural evolution strategies". This module implements that
+NES directly, as an independent reference:
+
+- search distribution: product Bernoulli with logits θ,
+- score: ``∇θ log π(x) = x − σ(θ)``,
+- gradient estimate: ``E[(f(x) − f̄)(x − σ(θ))]`` (baseline-subtracted),
+- natural gradient: the Bernoulli Fisher is the closed-form diagonal
+  ``F = diag(p(1−p))``, so preconditioning is elementwise.
+
+The equivalence is exact and tested: with the same sample batch, one NES
+gradient step equals one VQMC step on :class:`repro.models.MeanField`
+(whose score is ``½(x − p)`` and whose energy gradient carries a 2 — the
+factors cancel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["NaturalEvolutionStrategies", "NESResult"]
+
+
+@dataclass
+class NESResult:
+    best_value: float
+    best_x: np.ndarray
+    mean_values: list[float]
+    logits: np.ndarray
+
+
+class NaturalEvolutionStrategies:
+    """Minimise ``f : {0,1}^n → R`` with Bernoulli NES.
+
+    Parameters
+    ----------
+    lr:
+        Natural-gradient learning rate.
+    batch_size:
+        Samples per generation.
+    natural:
+        Precondition by the inverse Fisher diag(p(1−p)) (the "natural" in
+        NES). ``False`` gives plain REINFORCE.
+    fisher_floor:
+        Lower bound on p(1−p) to keep the preconditioner bounded as the
+        distribution concentrates.
+    """
+
+    def __init__(
+        self,
+        lr: float = 0.1,
+        batch_size: int = 256,
+        natural: bool = True,
+        fisher_floor: float = 1e-4,
+    ):
+        if lr <= 0 or batch_size < 2:
+            raise ValueError("invalid NES parameters")
+        self.lr = lr
+        self.batch_size = batch_size
+        self.natural = natural
+        self.fisher_floor = fisher_floor
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out
+
+    def gradient(
+        self, logits: np.ndarray, x: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """The (naturalised) NES gradient for a given sample batch."""
+        p = self._sigmoid(logits)
+        centred = values - values.mean()
+        grad = centred @ (x - p) / x.shape[0]
+        if self.natural:
+            grad = grad / np.maximum(p * (1.0 - p), self.fisher_floor)
+        return grad
+
+    def minimize(
+        self,
+        objective: Callable[[np.ndarray], np.ndarray],
+        n: int,
+        iterations: int = 200,
+        seed: int | None | np.random.Generator = None,
+    ) -> NESResult:
+        """Run NES; ``objective`` maps an (B, n) batch to (B,) values."""
+        rng = as_generator(seed)
+        logits = rng.normal(0.0, 0.01, size=n)
+        best_value = np.inf
+        best_x = np.zeros(n)
+        means: list[float] = []
+        for _ in range(iterations):
+            p = self._sigmoid(logits)
+            x = (rng.random((self.batch_size, n)) < p).astype(np.float64)
+            values = np.asarray(objective(x), dtype=np.float64)
+            means.append(float(values.mean()))
+            idx = int(np.argmin(values))
+            if values[idx] < best_value:
+                best_value = float(values[idx])
+                best_x = x[idx].copy()
+            logits = logits - self.lr * self.gradient(logits, x, values)
+        return NESResult(
+            best_value=best_value, best_x=best_x, mean_values=means, logits=logits
+        )

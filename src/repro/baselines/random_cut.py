@@ -1,0 +1,35 @@
+"""Random Cut: assign each vertex to a side by a fair coin.
+
+In expectation this cuts half the total edge weight — the classic
+0.5-approximation and the paper's first Table 2 baseline. We return the
+best of ``trials`` draws (the paper's row is a single draw per seed; use
+``trials=1`` to match exactly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.result import CutResult, cut_of_partition
+from repro.utils.rng import as_generator
+
+__all__ = ["random_cut"]
+
+
+def random_cut(
+    adjacency: np.ndarray,
+    seed: int | None | np.random.Generator = None,
+    trials: int = 1,
+) -> CutResult:
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    rng = as_generator(seed)
+    n = adjacency.shape[0]
+    best_val, best_bits = -np.inf, None
+    for _ in range(trials):
+        bits = (rng.random(n) < 0.5).astype(np.float64)
+        val = cut_of_partition(adjacency, bits)
+        if val > best_val:
+            best_val, best_bits = val, bits
+    return CutResult(value=best_val, bits=best_bits, info={"trials": trials})

@@ -1,0 +1,29 @@
+"""Shared result record for Max-Cut solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CutResult", "cut_of_partition"]
+
+
+def cut_of_partition(adjacency: np.ndarray, bits: np.ndarray) -> float:
+    """Cut weight of the partition encoded by ``bits ∈ {0,1}^n``."""
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    z = 1.0 - 2.0 * np.asarray(bits, dtype=np.float64)
+    total = np.triu(adjacency, 1).sum()
+    return float(0.5 * (total - 0.5 * z @ adjacency @ z))
+
+
+@dataclass
+class CutResult:
+    """A Max-Cut solution: value, partition, and solver metadata."""
+
+    value: float
+    bits: np.ndarray
+    info: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"CutResult(value={self.value}, n={self.bits.size}, info={self.info})"

@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``
+    One VQMC training run under the paper's protocol; prints progress and
+    the final evaluation, optionally writes a JSONL run log and checkpoint.
+``maxcut``
+    Solve a Max-Cut instance with every method (Random/GW/BM/NES/VQMC) and
+    print the comparison table.
+``exact``
+    Exact ground energy of a small instance (eigsh + our Lanczos).
+``sweep``
+    Grid sweep over seeds/optimisers/sizes with a mean ± std table.
+
+All commands accept ``--help``. The CLI is a thin shell over
+:mod:`repro.experiments`; everything it does is available as a library call.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable VQMC with exact autoregressive sampling "
+        "(SC 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t = sub.add_parser("train", help="run one VQMC training job")
+    t.add_argument("--problem", default="tim",
+                   choices=["tim", "maxcut", "chain"], help="Hamiltonian family")
+    t.add_argument("--n", type=int, default=20, help="number of sites")
+    t.add_argument("--arch", default="made", choices=["made", "rbm", "mean_field", "rnn"])
+    t.add_argument("--sampler", default="auto",
+                   choices=["auto", "mcmc", "tempering"])
+    t.add_argument("--optimizer", default="adam",
+                   choices=["sgd", "adam", "sgd+sr"])
+    t.add_argument("--iterations", type=int, default=300)
+    t.add_argument("--batch-size", type=int, default=1024)
+    t.add_argument("--hidden", type=int, default=None)
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--instance-seed", type=int, default=0)
+    t.add_argument("--log", default=None, help="JSONL run-log path")
+    t.add_argument("--checkpoint", default=None, help="final checkpoint path")
+    t.add_argument("--quiet", action="store_true")
+
+    m = sub.add_parser("maxcut", help="compare all Max-Cut solvers")
+    m.add_argument("--n", type=int, default=20)
+    m.add_argument("--instance-seed", type=int, default=0)
+    m.add_argument("--iterations", type=int, default=150)
+    m.add_argument("--batch-size", type=int, default=512)
+    m.add_argument("--seed", type=int, default=0)
+
+    e = sub.add_parser("exact", help="exact ground state (n <= 20)")
+    e.add_argument("--problem", default="tim", choices=["tim", "maxcut", "chain"])
+    e.add_argument("--n", type=int, default=10)
+    e.add_argument("--instance-seed", type=int, default=0)
+
+    s = sub.add_parser("sweep", help="multi-seed grid sweep")
+    s.add_argument("--problem", default="tim", choices=["tim", "maxcut", "chain"])
+    s.add_argument("--n", type=int, nargs="+", default=[16])
+    s.add_argument("--optimizer", nargs="+", default=["adam"],
+                   choices=["sgd", "adam", "sgd+sr"])
+    s.add_argument("--arch", default="made", choices=["made", "rbm", "mean_field", "rnn"])
+    s.add_argument("--sampler", default="auto",
+                   choices=["auto", "mcmc", "tempering"])
+    s.add_argument("--seeds", type=int, default=3)
+    s.add_argument("--iterations", type=int, default=50)
+    s.add_argument("--batch-size", type=int, default=256)
+    s.add_argument("--workers", type=int, default=1)
+    s.add_argument("--metric", default="final_energy",
+                   choices=["final_energy", "final_std", "best_cut",
+                            "train_seconds"])
+
+    sub.add_parser("selfcheck", help="fast end-to-end validation battery")
+
+    p = sub.add_parser("plan", help="cluster scaling report for a problem size")
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--batch-size", type=int, default=1024)
+    p.add_argument("--iterations", type=int, default=300)
+    p.add_argument("--hidden", type=int, default=None)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+
+
+def _cmd_train(args) -> int:
+    from repro.core import VQMC, History, ProgressPrinter
+    from repro.core.checkpoint import save_checkpoint
+    from repro.experiments import (
+        build_model,
+        build_optimizer,
+        build_sampler,
+        make_hamiltonian,
+    )
+    from repro.utils.runlog import RunLogger
+
+    ham = make_hamiltonian(args.problem, args.n, seed=args.instance_seed)
+    model = build_model(args.arch, args.n, args.seed, hidden=args.hidden)
+    sampler = build_sampler(args.sampler, args.n)
+    optimizer, sr = build_optimizer(args.optimizer, model)
+    vqmc = VQMC(model, ham, sampler, optimizer, sr=sr, seed=args.seed + 10_000)
+
+    callbacks: list = [History()]
+    if not args.quiet:
+        callbacks.append(ProgressPrinter(every=max(1, args.iterations // 10)))
+    if args.log:
+        callbacks.append(RunLogger(args.log, meta=vars(args)))
+
+    vqmc.run(args.iterations, batch_size=args.batch_size, callbacks=callbacks)
+    stats = vqmc.evaluate(batch_size=args.batch_size)
+    print(f"final: {stats}")
+    if args.problem == "maxcut":
+        x = sampler.sample(model, args.batch_size, vqmc.rng)
+        print(f"best cut in evaluation batch: {ham.cut_value(x).max():.1f}")
+    if args.checkpoint:
+        save_checkpoint(vqmc, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _cmd_maxcut(args) -> int:
+    from repro.baselines import (
+        BurerMonteiro,
+        GoemansWilliamson,
+        NaturalEvolutionStrategies,
+        random_cut,
+    )
+    from repro.experiments import make_hamiltonian, train_once
+    from repro.utils.tables import format_table
+
+    ham = make_hamiltonian("maxcut", args.n, seed=args.instance_seed)
+    w = ham.adjacency
+    rows = [
+        ["Random", random_cut(w, seed=args.seed).value],
+        ["Goemans-Williamson",
+         GoemansWilliamson(rounds=100).solve(w, seed=args.seed).value],
+        ["Burer-Monteiro",
+         BurerMonteiro(rounds=100, restarts=2).solve(w, seed=args.seed).value],
+    ]
+    nes = NaturalEvolutionStrategies(lr=0.5, batch_size=args.batch_size).minimize(
+        lambda x: ham.diagonal(x), args.n,
+        iterations=args.iterations, seed=args.seed,
+    )
+    rows.append(["NES (mean-field)", -nes.best_value])
+    out = train_once(
+        ham, "made", "auto", "sgd+sr",
+        args.iterations, args.batch_size, seed=args.seed,
+    )
+    rows.append(["VQMC (MADE+AUTO+SR)", out.best_cut])
+    if args.n <= 20:
+        from repro.exact import brute_force_max_cut
+
+        opt, _ = brute_force_max_cut(w)
+        rows.append(["(exact optimum)", opt])
+    print(format_table(["method", "cut"],
+                       rows, title=f"Max-Cut n={args.n}, |E|={ham.num_edges()}",
+                       precision=1))
+    return 0
+
+
+def _cmd_exact(args) -> int:
+    from repro.exact import ground_state, lanczos_ground_state
+    from repro.experiments import make_hamiltonian
+
+    ham = make_hamiltonian(args.problem, args.n, seed=args.instance_seed)
+    gs = ground_state(ham)
+    lz = lanczos_ground_state(ham)
+    print(f"{type(ham).__name__} n={args.n}")
+    print(f"eigsh ground energy  : {gs.energy:.10f}")
+    print(f"our Lanczos          : {lz.energy:.10f} "
+          f"({lz.iterations} iterations, residual {lz.residual_norm:.2e})")
+    if args.problem == "chain":
+        from repro.hamiltonians import tfim_chain_exact_energy
+
+        print(f"Jordan-Wigner closed form: "
+              f"{tfim_chain_exact_energy(args.n):.10f}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments import Sweep, TrialSpec, aggregate
+    from repro.utils.tables import format_table
+
+    sweep = Sweep(
+        base=TrialSpec(
+            problem=args.problem,
+            arch=args.arch,
+            sampler=args.sampler,
+            iterations=args.iterations,
+            batch_size=args.batch_size,
+        ),
+        grid={
+            "n": args.n,
+            "optimizer": args.optimizer,
+            "seed": list(range(args.seeds)),
+        },
+    )
+    records = sweep.run(workers=args.workers)
+    table = aggregate(records, by=("n", "optimizer"), metric=args.metric)
+    rows = [[n, opt, (mean, std)] for (n, opt), (mean, std) in table.items()]
+    print(format_table(
+        ["n", "optimizer", args.metric],
+        rows,
+        title=f"{args.problem} sweep — {args.metric} over {args.seeds} seeds",
+        precision=3,
+    ))
+    return 0
+
+
+def _cmd_selfcheck(args) -> int:
+    from repro.validation import run_selfcheck
+
+    results = run_selfcheck(verbose=True)
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_plan(args) -> int:
+    from repro.cluster.report import scaling_report
+
+    print(scaling_report(
+        args.n,
+        global_batch=args.batch_size,
+        iterations=args.iterations,
+        hidden=args.hidden,
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "maxcut": _cmd_maxcut,
+    "exact": _cmd_exact,
+    "sweep": _cmd_sweep,
+    "selfcheck": _cmd_selfcheck,
+    "plan": _cmd_plan,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=6, suppress=True)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

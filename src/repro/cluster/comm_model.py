@@ -1,0 +1,47 @@
+"""Allreduce cost model (α–β model over the cluster topology).
+
+Ring allreduce of a ``d``-float payload over ``L`` endpoints with link
+bandwidth β and per-step latency α costs
+
+    t = 2 (L − 1) α + 2 (L − 1)/L · d·4 / β
+
+(reduce-scatter + allgather, 4-byte floats). For multi-node jobs we model
+NCCL's hierarchical schedule: ring within each node over NVLink, ring
+across nodes over InfiniBand, then intra-node broadcast.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.device import ClusterSpec
+
+__all__ = ["allreduce_time", "hierarchical_allreduce_time"]
+
+_BYTES = 4.0  # fp32
+
+
+def allreduce_time(
+    d: int, endpoints: int, bandwidth: float, latency: float
+) -> float:
+    """Flat ring allreduce time for ``d`` floats over ``endpoints`` links."""
+    if endpoints <= 1:
+        return 0.0
+    steps = 2 * (endpoints - 1)
+    payload = 2.0 * (endpoints - 1) / endpoints * d * _BYTES
+    return steps * latency + payload / bandwidth
+
+
+def hierarchical_allreduce_time(
+    d: int, n_nodes: int, gpus_per_node: int, cluster: ClusterSpec
+) -> float:
+    """Hierarchical allreduce: intra-node reduce, inter-node ring,
+    intra-node broadcast."""
+    if n_nodes * gpus_per_node <= 1:
+        return 0.0
+    t = 0.0
+    node = cluster.node
+    if gpus_per_node > 1:
+        # reduce + (later) broadcast within the node ≈ one full ring allreduce
+        t += allreduce_time(d, gpus_per_node, node.intra_bw_bytes, node.intra_latency_s)
+    if n_nodes > 1:
+        t += allreduce_time(d, n_nodes, cluster.inter_bw_bytes, cluster.inter_latency_s)
+    return t

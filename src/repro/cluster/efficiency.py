@@ -1,0 +1,57 @@
+"""Closed-form parallel-efficiency expressions from the paper (§4).
+
+Eq. 14 (MCMC): constructing ``n_samples`` on each of L units, with burn-in
+``k`` and thinning stride ``j``, the speedup over one unit producing the
+same total is
+
+    speedup(L) = (k + (n·L − 1) j + 1) / (k + (n − 1) j + 1) = a + b·L
+
+with ``b = n j / (k + (n−1) j + 1)`` decaying towards 0 as the burn-in k
+grows — burning in is sequential work every unit repeats.
+
+Eq. 15 (AUTO): the per-iteration work is O(h n² · mbs) compute plus an
+O(h n) allreduce, so
+
+    efficiency(L) = O(hn²·L·mbs) / (O(hn²·mbs) + O(hn)) ≈ L
+
+whenever n or mbs is large.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mcmc_parallel_efficiency",
+    "mcmc_slope",
+    "auto_parallel_efficiency",
+]
+
+
+def mcmc_parallel_efficiency(
+    L: int, samples_per_unit: int, burn_in: int, thin: int = 1
+) -> float:
+    """Eq. 14: speedup of L units over one unit for the same total samples."""
+    if L < 1 or samples_per_unit < 1 or burn_in < 0 or thin < 1:
+        raise ValueError("invalid MCMC efficiency parameters")
+    n, k, j = samples_per_unit, burn_in, thin
+    return (k + (n * L - 1) * j + 1) / (k + (n - 1) * j + 1)
+
+
+def mcmc_slope(samples_per_unit: int, burn_in: int, thin: int = 1) -> float:
+    """The ``b`` in speedup = a + bL; b → 0 as burn-in dominates."""
+    n, k, j = samples_per_unit, burn_in, thin
+    return n * j / (k + (n - 1) * j + 1)
+
+
+def auto_parallel_efficiency(
+    L: int, n: int, hidden: int, mini_batch: int, comm_flops_equiv: float | None = None
+) -> float:
+    """Eq. 15 evaluated: effective speedup of L units for AUTO sampling.
+
+    ``comm_flops_equiv`` is the allreduce cost expressed in flop-equivalents
+    (defaults to the paper's O(hn) with unit constant).
+    """
+    if L < 1:
+        raise ValueError(f"L must be >= 1, got {L}")
+    compute = hidden * n * n * mini_batch
+    comm = comm_flops_equiv if comm_flops_equiv is not None else float(hidden * n)
+    return L * compute / (compute + comm)

@@ -1,0 +1,190 @@
+"""Discrete-event simulation of data-parallel VQMC iterations.
+
+The closed-form cost model (:mod:`repro.cluster.perfmodel`) assumes
+perfectly homogeneous devices. Real clusters have stragglers — thermal
+throttling, noisy neighbours, asymmetric NUMA — and one slow rank gates
+every synchronous allreduce. This simulator plays an iteration timeline
+per rank:
+
+    sample → measure → backward → [allreduce barrier] → update
+
+with per-rank speed factors and optional random jitter, and reports wall
+time, per-rank idle time and the critical-path breakdown. For homogeneous
+ranks it reproduces the closed-form model exactly (tested); with
+stragglers it quantifies the paper-adjacent question "what breaks weak
+scaling in practice".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.comm_model import hierarchical_allreduce_time
+from repro.cluster.device import DGX_NODE, ClusterSpec
+from repro.cluster.perfmodel import MadeAutoCostModel
+from repro.models.made import default_hidden_size
+
+__all__ = ["RankTimeline", "SimulationResult", "DataParallelSimulator"]
+
+
+@dataclass
+class RankTimeline:
+    """Per-rank phase durations for one iteration (seconds)."""
+
+    rank: int
+    sample: float
+    measure: float
+    backward: float
+    idle: float  # waiting at the allreduce barrier
+    comm: float
+    update: float
+
+    @property
+    def busy(self) -> float:
+        return self.sample + self.measure + self.backward + self.comm + self.update
+
+    @property
+    def total(self) -> float:
+        return self.busy + self.idle
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate of a simulated run."""
+
+    iteration_times: np.ndarray  # (iterations,)
+    timelines: list[RankTimeline]  # last iteration's per-rank breakdown
+    utilization: np.ndarray  # (ranks,) busy / total over the run
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def mean_iteration(self) -> float:
+        return float(self.iteration_times.mean())
+
+    def slowdown_vs(self, baseline: "SimulationResult") -> float:
+        return self.mean_iteration / baseline.mean_iteration
+
+
+class DataParallelSimulator:
+    """Simulate L-rank synchronous data-parallel training.
+
+    Parameters
+    ----------
+    n, mini_batch:
+        Problem size and per-rank batch.
+    n_nodes, gpus_per_node:
+        Cluster layout (L = n_nodes × gpus_per_node ranks).
+    hidden:
+        Model width (default: paper's 5(log n)²).
+    speed_factors:
+        Per-rank multiplier on compute durations (1.0 = nominal; 2.0 = a
+        2× straggler). Length L; default all-1.
+    jitter:
+        Lognormal σ of random per-phase noise (0 = deterministic).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        mini_batch: int,
+        n_nodes: int = 1,
+        gpus_per_node: int = 1,
+        hidden: int | None = None,
+        cluster: ClusterSpec | None = None,
+        cost_model: MadeAutoCostModel | None = None,
+        speed_factors: np.ndarray | None = None,
+        jitter: float = 0.0,
+    ):
+        if n < 1 or mini_batch < 1:
+            raise ValueError("n and mini_batch must be positive")
+        self.n = n
+        self.mini_batch = mini_batch
+        self.n_nodes = n_nodes
+        self.gpus_per_node = gpus_per_node
+        self.ranks = n_nodes * gpus_per_node
+        self.hidden = hidden if hidden is not None else default_hidden_size(n)
+        self.cluster = cluster or ClusterSpec(node=DGX_NODE)
+        self.cost = cost_model or MadeAutoCostModel(
+            device=self.cluster.node.device, cluster=self.cluster
+        )
+        if speed_factors is None:
+            speed_factors = np.ones(self.ranks)
+        speed_factors = np.asarray(speed_factors, dtype=np.float64)
+        if speed_factors.shape != (self.ranks,):
+            raise ValueError(
+                f"speed_factors must have length {self.ranks}, "
+                f"got {speed_factors.shape}"
+            )
+        if np.any(speed_factors <= 0):
+            raise ValueError("speed factors must be positive")
+        self.speed_factors = speed_factors
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.jitter = jitter
+
+    # -- nominal phase durations -----------------------------------------------------
+
+    def _nominal(self) -> tuple[float, float, float, float, float]:
+        sample = self.cost.sampling_time(self.n, self.mini_batch, self.hidden)
+        measure = self.cost.measurement_time(self.n, self.mini_batch, self.hidden)
+        backward = self.cost.backward_time(self.n, self.mini_batch, self.hidden)
+        d = 2 * self.hidden * self.n + self.hidden + self.n
+        comm = hierarchical_allreduce_time(
+            d, self.n_nodes, self.gpus_per_node, self.cluster
+        )
+        update = d * 2.0 / self.cost.device.effective_flops
+        return sample, measure, backward, comm, update
+
+    def run(
+        self, iterations: int = 10, rng: np.random.Generator | None = None
+    ) -> SimulationResult:
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        sample0, measure0, backward0, comm, update0 = self._nominal()
+
+        iter_times = np.empty(iterations)
+        busy = np.zeros(self.ranks)
+        total = np.zeros(self.ranks)
+        timelines: list[RankTimeline] = []
+        for it in range(iterations):
+            if self.jitter > 0:
+                noise = rng.lognormal(0.0, self.jitter, size=(self.ranks, 3))
+            else:
+                noise = np.ones((self.ranks, 3))
+            phases = np.stack(
+                [
+                    sample0 * noise[:, 0],
+                    measure0 * noise[:, 1],
+                    backward0 * noise[:, 2],
+                ],
+                axis=1,
+            ) * self.speed_factors[:, None]
+            arrive = phases.sum(axis=1)  # time each rank reaches the barrier
+            barrier = float(arrive.max())
+            idle = barrier - arrive
+            wall = barrier + comm + update0
+            iter_times[it] = wall
+            busy += arrive + comm + update0
+            total += wall
+            if it == iterations - 1:
+                timelines = [
+                    RankTimeline(
+                        rank=r,
+                        sample=float(phases[r, 0]),
+                        measure=float(phases[r, 1]),
+                        backward=float(phases[r, 2]),
+                        idle=float(idle[r]),
+                        comm=comm,
+                        update=update0,
+                    )
+                    for r in range(self.ranks)
+                ]
+        return SimulationResult(
+            iteration_times=iter_times,
+            timelines=timelines,
+            utilization=busy / total,
+            extras={"barrier_comm": comm},
+        )

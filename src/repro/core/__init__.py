@@ -1,0 +1,45 @@
+"""The VQMC training engine (the paper's primary contribution).
+
+- :mod:`repro.core.energy` — local-energy evaluation (Eq. 3) and the two
+  gradient estimators (autograd surrogate and per-sample covariance form of
+  Eq. 5).
+- :mod:`repro.core.vqmc` — the alternating sample/optimise driver, with
+  optional stochastic reconfiguration and optional data parallelism.
+- :mod:`repro.core.callbacks` — history recording, hitting-time early stop,
+  wall-clock accounting.
+"""
+
+from repro.core.energy import EnergyStats, local_energies, energy_statistics
+from repro.core.vqmc import VQMC, VQMCConfig, StepResult
+from repro.core.callbacks import (
+    Callback,
+    History,
+    HittingTime,
+    ProgressPrinter,
+    StopTraining,
+)
+from repro.core.checkpoint import (
+    CheckpointCallback,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.gradient_stats import GradientNoise, gradient_noise
+
+__all__ = [
+    "EnergyStats",
+    "local_energies",
+    "energy_statistics",
+    "VQMC",
+    "VQMCConfig",
+    "StepResult",
+    "Callback",
+    "History",
+    "HittingTime",
+    "ProgressPrinter",
+    "StopTraining",
+    "CheckpointCallback",
+    "save_checkpoint",
+    "load_checkpoint",
+    "GradientNoise",
+    "gradient_noise",
+]

@@ -1,0 +1,109 @@
+"""Hamiltonian annealing for VQMC (quantum-inspired annealing).
+
+For hard combinatorial landscapes it often helps to train against an
+interpolated Hamiltonian
+
+    H(s) = (1 − s) · H_driver + s · H_target ,   s: 0 → 1 over training,
+
+with a transverse-field driver ``H_driver = −Σ_i X_i`` whose ground state
+(uniform superposition) is trivially learnable. This is the variational
+analogue of quantum annealing: the model tracks the instantaneous ground
+state while the gap closes, ending on the target problem. The paper stops
+at direct optimisation; this is a natural extension its framework supports
+with ~50 lines because the driver only touches the α/β/coupling arrays of
+the Eq. 11 family.
+
+Usage::
+
+    schedule = AnnealingSchedule(target, total_steps=300)
+    vqmc = VQMC(model, schedule.hamiltonian(0), sampler, opt)
+    vqmc.run(300, callbacks=[AnnealingCallback(vqmc, schedule)])
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.callbacks import Callback
+from repro.hamiltonians.zzx import ZZXHamiltonian
+
+__all__ = ["AnnealingSchedule", "AnnealingCallback", "transverse_driver"]
+
+
+def transverse_driver(n: int, strength: float = 1.0) -> ZZXHamiltonian:
+    """``H_driver = −strength · Σ_i X_i`` — ground state = uniform superposition."""
+    return ZZXHamiltonian(
+        alpha=np.full(n, float(strength)),
+        beta=np.zeros(n),
+        couplings=np.zeros((n, n)),
+    )
+
+
+class AnnealingSchedule:
+    """Linear (or powered) interpolation between driver and target.
+
+    Parameters
+    ----------
+    target:
+        The problem Hamiltonian (any :class:`ZZXHamiltonian`).
+    total_steps:
+        Steps over which ``s`` ramps 0 → 1 (then stays at 1).
+    driver:
+        Defaults to the unit transverse-field driver.
+    power:
+        ``s(t) = (t / total)^power`` — >1 lingers near the driver,
+        <1 rushes toward the target.
+    """
+
+    def __init__(
+        self,
+        target: ZZXHamiltonian,
+        total_steps: int,
+        driver: ZZXHamiltonian | None = None,
+        power: float = 1.0,
+    ):
+        if total_steps < 1:
+            raise ValueError(f"total_steps must be >= 1, got {total_steps}")
+        if power <= 0:
+            raise ValueError(f"power must be > 0, got {power}")
+        self.target = target
+        self.driver = driver if driver is not None else transverse_driver(target.n)
+        if self.driver.n != target.n:
+            raise ValueError(
+                f"driver has n={self.driver.n}, target n={target.n}"
+            )
+        self.total_steps = total_steps
+        self.power = power
+
+    def s(self, step: int) -> float:
+        """Interpolation parameter at a (0-based) training step."""
+        return min(1.0, (step / self.total_steps)) ** self.power
+
+    def hamiltonian(self, step: int) -> ZZXHamiltonian:
+        """``H(s(step))`` as a concrete ZZXHamiltonian."""
+        s = self.s(step)
+        d, t = self.driver, self.target
+        return ZZXHamiltonian(
+            alpha=(1 - s) * d.alpha + s * t.alpha,
+            beta=(1 - s) * d.beta + s * t.beta,
+            couplings=(1 - s) * d.couplings + s * t.couplings,
+            offset=(1 - s) * d.offset + s * t.offset,
+        )
+
+
+class AnnealingCallback(Callback):
+    """Swaps the trainer's Hamiltonian to ``H(s)`` before every step.
+
+    The swap happens in ``on_step`` *after* step ``t`` completes, setting up
+    ``H(s(t+1))`` for the next one; construct the VQMC with
+    ``schedule.hamiltonian(0)`` so step 1 sees the pure driver.
+    """
+
+    def __init__(self, vqmc, schedule: AnnealingSchedule):
+        if vqmc.model.n != schedule.target.n:
+            raise ValueError("schedule size does not match the model")
+        self.vqmc = vqmc
+        self.schedule = schedule
+
+    def on_step(self, step: int, result) -> None:
+        self.vqmc.hamiltonian = self.schedule.hamiltonian(step)

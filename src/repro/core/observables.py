@@ -1,0 +1,135 @@
+"""Physical observables estimated from configuration samples.
+
+Beyond the energy, VQMC users routinely measure diagonal observables
+(functions of Z operators, exact on samples) and model-quality metrics
+(fidelity against an exact state at small n). All estimators take an
+``(B, n)`` sample batch; diagonal observables are unbiased Monte-Carlo
+averages under πθ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hamiltonians.base import bits_to_index, bits_to_spins
+from repro.models.base import WaveFunction
+from repro.tensor.tensor import no_grad
+
+__all__ = [
+    "magnetization",
+    "site_magnetization",
+    "spin_correlations",
+    "structure_factor",
+    "fidelity",
+    "kl_divergence",
+    "sample_entropy_estimate",
+    "exact_model_energy",
+]
+
+
+def exact_model_energy(model: WaveFunction, hamiltonian) -> float:
+    """The *population* Rayleigh quotient ``⟨ψθ,Hψθ⟩/⟨ψθ,ψθ⟩`` by full
+    enumeration (n ≤ 20) — the noise-free value every Monte-Carlo energy
+    estimate converges to. The standard tool for separating sampling noise
+    from optimisation error in small-scale studies."""
+    from repro.core.energy import local_energies
+
+    n = model.n
+    if n > 20:
+        raise ValueError(f"exact model energy infeasible for n={n}")
+    states = (
+        (np.arange(2**n)[:, None] >> np.arange(n - 1, -1, -1)) & 1
+    ).astype(np.float64)
+    with no_grad():
+        log_psi = model.log_psi(states).data
+    log_p = 2.0 * log_psi
+    log_p -= log_p.max()
+    probs = np.exp(log_p)
+    probs /= probs.sum()
+    local = local_energies(model, hamiltonian, states)
+    return float(probs @ local)
+
+
+def magnetization(x: np.ndarray) -> float:
+    """⟨|Σ_i Z_i|⟩ / n — the absolute magnetisation per site."""
+    z = bits_to_spins(np.asarray(x))
+    return float(np.abs(z.sum(axis=1)).mean() / z.shape[1])
+
+
+def site_magnetization(x: np.ndarray) -> np.ndarray:
+    """⟨Z_i⟩ per site — shape (n,)."""
+    return bits_to_spins(np.asarray(x)).mean(axis=0)
+
+
+def spin_correlations(x: np.ndarray) -> np.ndarray:
+    """Connected correlations ``⟨Z_i Z_j⟩ − ⟨Z_i⟩⟨Z_j⟩`` — shape (n, n)."""
+    z = bits_to_spins(np.asarray(x))
+    mean = z.mean(axis=0)
+    return (z.T @ z) / z.shape[0] - np.outer(mean, mean)
+
+
+def structure_factor(x: np.ndarray, momentum: float = 0.0) -> float:
+    """``S(q) = (1/n) Σ_ij e^{iq(i-j)} ⟨Z_i Z_j⟩`` (real part).
+
+    ``q = 0`` gives the ferromagnetic structure factor, ``q = π`` the
+    antiferromagnetic one (1-D site indexing).
+    """
+    z = bits_to_spins(np.asarray(x))
+    n = z.shape[1]
+    phases = np.exp(1j * momentum * np.arange(n))
+    amplitude = z @ phases  # (B,)
+    return float(np.mean(np.abs(amplitude) ** 2).real / n)
+
+
+def fidelity(model: WaveFunction, exact_vector: np.ndarray) -> float:
+    """``|⟨ψ_exact | ψθ⟩|²`` with both states normalised (n ≤ 20).
+
+    ``exact_vector`` is the ground eigenvector in the computational basis
+    (e.g. from :func:`repro.exact.ground_state`); the model's amplitudes
+    are evaluated by enumeration.
+    """
+    n = model.n
+    if n > 20:
+        raise ValueError(f"fidelity by enumeration infeasible for n={n}")
+    dim = 2**n
+    states = (
+        (np.arange(dim)[:, None] >> np.arange(n - 1, -1, -1)) & 1
+    ).astype(np.float64)
+    with no_grad():
+        log_psi = model.log_psi(states).data
+    log_psi = log_psi - log_psi.max()
+    psi = np.exp(log_psi)
+    psi = psi / np.linalg.norm(psi)
+    exact = np.asarray(exact_vector, dtype=np.float64)
+    exact = exact / np.linalg.norm(exact)
+    return float(np.abs(exact @ psi) ** 2)
+
+
+def kl_divergence(model: WaveFunction, target_probs: np.ndarray) -> float:
+    """``KL(target ‖ πθ)`` by enumeration (n ≤ 20); target is a probability
+    vector over the 2^n computational basis states."""
+    n = model.n
+    target = np.asarray(target_probs, dtype=np.float64)
+    if target.shape != (2**n,):
+        raise ValueError(f"target must have shape ({2**n},), got {target.shape}")
+    states = (
+        (np.arange(2**n)[:, None] >> np.arange(n - 1, -1, -1)) & 1
+    ).astype(np.float64)
+    with no_grad():
+        log_q = model.log_prob(states).data
+    support = target > 0
+    return float(np.sum(target[support] * (np.log(target[support]) - log_q[support])))
+
+
+def sample_entropy_estimate(model: WaveFunction, x: np.ndarray) -> float:
+    """Monte-Carlo estimate of the Shannon entropy ``H(πθ) = −E[log πθ]``.
+
+    Unbiased for normalised models; measures how concentrated the learned
+    distribution is (→ 0 when the model collapses onto one configuration,
+    a useful convergence/diversity diagnostic for combinatorial problems).
+    """
+    if not model.is_normalized:
+        raise TypeError("entropy estimate requires a normalised model")
+    with no_grad():
+        log_p = model.log_prob(np.asarray(x, dtype=np.float64)).data
+    return float(-log_p.mean())

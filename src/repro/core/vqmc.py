@@ -1,0 +1,311 @@
+"""The VQMC driver: alternating sampling and (natural-)gradient descent.
+
+Single-process use::
+
+    model = MADE(n=20, rng=rng)
+    ham = TransverseFieldIsing.random(20, seed=0)
+    vqmc = VQMC(model, ham, AutoregressiveSampler(), Adam(model.parameters()))
+    history = History()
+    vqmc.run(300, batch_size=1024, callbacks=[history])
+
+Data-parallel use (the paper's §4 scheme): pass a
+:class:`repro.distributed.Communicator`. Each rank draws its own mini-batch
+``mbs`` (effective batch ``bs = L × mbs``), computes local statistics and
+gradients, and the driver allreduces them so every rank applies the *same*
+update — keeping the replicas in lock-step without ever exchanging samples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.callbacks import Callback, StopTraining
+from repro.core.energy import (
+    EnergyStats,
+    energy_statistics,
+    grad_from_per_sample,
+    grad_via_autograd,
+    local_energies,
+)
+from repro.hamiltonians.base import Hamiltonian
+from repro.models.base import WaveFunction
+from repro.optim.base import Optimizer
+from repro.optim.sr import StochasticReconfiguration
+from repro.samplers.base import Sampler
+from repro.utils.rng import as_generator
+from repro.utils.timer import WallClock
+
+__all__ = ["VQMC", "VQMCConfig", "StepResult"]
+
+
+@dataclass
+class VQMCConfig:
+    """Driver configuration.
+
+    Attributes
+    ----------
+    batch_size:
+        Samples per step *per rank* (the paper's ``mbs``; with L ranks the
+        effective batch is ``L × batch_size``).
+    gradient_mode:
+        ``'autograd'`` (tape), ``'per_sample'`` (closed-form O matrix), or
+        ``'auto'`` — per-sample whenever SR is active (it needs O anyway),
+        autograd otherwise.
+    max_grad_norm:
+        Optional global-norm gradient clipping (applied after SR). The
+        paper clips nothing; this is the standard guard for the unstable
+        RBM+MCMC regimes Table 2 exposes.
+    """
+
+    batch_size: int = 1024
+    gradient_mode: str = "auto"
+    max_grad_norm: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.gradient_mode not in ("auto", "autograd", "per_sample"):
+            raise ValueError(f"unknown gradient_mode {self.gradient_mode!r}")
+        if self.max_grad_norm is not None and self.max_grad_norm <= 0:
+            raise ValueError(f"max_grad_norm must be > 0, got {self.max_grad_norm}")
+
+
+@dataclass
+class StepResult:
+    """Outcome of one optimisation step (global statistics in parallel runs)."""
+
+    step: int
+    stats: EnergyStats
+    grad_norm: float
+    step_time: float
+    acceptance: float
+    vqmc: "VQMC" = field(repr=False, default=None)
+
+
+class VQMC:
+    """Variational quantum Monte Carlo trainer.
+
+    Parameters
+    ----------
+    model, hamiltonian, sampler, optimizer:
+        The four interchangeable components; any model/sampler pairing that
+        type-checks is allowed (MADE+AUTO, RBM+MCMC, and also MADE+MCMC for
+        ablations).
+    sr:
+        Optional :class:`StochasticReconfiguration` preconditioner. Requires
+        ``model.has_per_sample_grads``.
+    comm:
+        Optional communicator for data parallelism. When given, parameters
+        are broadcast from rank 0 at construction and gradients/statistics
+        are allreduced each step.
+    seed:
+        Seed or generator for the sampling stream. In parallel runs each
+        rank must pass a *distinct* stream (see
+        :func:`repro.utils.rng.spawn_generators`); the driver checks ranks
+        do not accidentally share a seed by comparing first draws.
+    """
+
+    def __init__(
+        self,
+        model: WaveFunction,
+        hamiltonian: Hamiltonian,
+        sampler: Sampler,
+        optimizer: Optimizer,
+        sr: StochasticReconfiguration | None = None,
+        comm=None,
+        seed: int | None | np.random.Generator = None,
+        config: VQMCConfig | None = None,
+    ):
+        if model.n != hamiltonian.n:
+            raise ValueError(
+                f"model n={model.n} does not match Hamiltonian n={hamiltonian.n}"
+            )
+        if sr is not None and not model.has_per_sample_grads:
+            raise TypeError(
+                f"SR requires per-sample gradients; {type(model).__name__} "
+                "does not provide them"
+            )
+        self.model = model
+        self.hamiltonian = hamiltonian
+        self.sampler = sampler
+        self.optimizer = optimizer
+        self.sr = sr
+        self.comm = comm
+        self.rng = as_generator(seed)
+        self.config = config or VQMCConfig()
+        self.global_step = 0
+        self.diverged_steps = 0
+        #: per-phase wall-clock accounting (sample / energy / gradient /
+        #: update), cumulated over all steps — `vqmc.clock.summary()`.
+        self.clock = WallClock()
+
+        if comm is not None and comm.size > 1:
+            # All replicas must start from identical parameters.
+            flat = self.model.flat_parameters()
+            flat = comm.broadcast(flat, root=0)
+            self.model.set_flat_parameters(flat)
+
+    # -- mode resolution ---------------------------------------------------------
+
+    def _gradient_mode(self) -> str:
+        mode = self.config.gradient_mode
+        if mode == "auto":
+            mode = "per_sample" if self.sr is not None else "autograd"
+        if mode == "per_sample" and not self.model.has_per_sample_grads:
+            raise TypeError(
+                f"{type(self.model).__name__} has no per-sample gradient path"
+            )
+        return mode
+
+    # -- one optimisation step -------------------------------------------------------
+
+    def step(self, batch_size: int | None = None) -> StepResult:
+        """Sample, estimate energy and gradient, update parameters."""
+        t0 = time.perf_counter()
+        bsz = batch_size or self.config.batch_size
+        with self.clock.measure("sample"):
+            x = self.sampler.sample(self.model, bsz, self.rng)
+        with self.clock.measure("energy"):
+            local = local_energies(self.model, self.hamiltonian, x)
+            stats = self._combine_stats(local)
+
+        mode = self._gradient_mode()
+        self.model.zero_grad()
+        with self.clock.measure("gradient"):
+            if mode == "autograd":
+                # Centre with the *global* mean so distributed gradients
+                # average to the exact big-batch estimator.
+                weights = 2.0 * (local - stats.mean) / (bsz * self._world_size())
+                log_psi = self.model.log_psi(x)
+                (log_psi * weights).sum().backward()
+                grad = self.model.flat_grad()
+                grad = self._allreduce(grad)
+            else:
+                _, o = self.model.log_psi_and_grads(x)
+                grad = self._combined_gradient(o, local, stats)
+                if self.sr is not None:
+                    grad = self._natural_gradient(o, local, grad, stats)
+
+        if self.config.max_grad_norm is not None:
+            norm = float(np.linalg.norm(grad))
+            if norm > self.config.max_grad_norm:
+                grad = grad * (self.config.max_grad_norm / norm)
+
+        with self.clock.measure("update"):
+            if np.all(np.isfinite(grad)):
+                self.model.set_flat_grad(grad)
+                self.optimizer.step()
+            else:
+                # Divergence guard: a non-finite gradient (overflowing
+                # amplitude ratios, singular SR solve) would irreversibly
+                # poison the parameters. Skip the update; the step is still
+                # reported so callbacks see the divergence in grad_norm.
+                self.diverged_steps += 1
+        self.global_step += 1
+
+        acceptance = self.sampler.last_stats.acceptance_rate
+        result = StepResult(
+            step=self.global_step,
+            stats=stats,
+            grad_norm=float(np.linalg.norm(grad)),
+            step_time=time.perf_counter() - t0,
+            acceptance=acceptance,
+            vqmc=self,
+        )
+        return result
+
+    # -- distributed reductions ------------------------------------------------------
+
+    def _world_size(self) -> int:
+        return self.comm.size if self.comm is not None else 1
+
+    def _allreduce(self, arr: np.ndarray) -> np.ndarray:
+        if self.comm is None or self.comm.size == 1:
+            return arr
+        return self.comm.allreduce(arr, op="sum")
+
+    def _combine_stats(self, local: np.ndarray) -> EnergyStats:
+        if self._world_size() == 1:
+            return energy_statistics(local)
+        moments = np.array([local.size, local.sum(), (local**2).sum()])
+        total, s1, s2 = self.comm.allreduce(moments, op="sum")
+        mean = s1 / total
+        var = max(s2 / total - mean**2, 0.0)
+        std = float(np.sqrt(var))
+        return EnergyStats(
+            mean=float(mean),
+            std=std,
+            sem=std / np.sqrt(total),
+            count=int(total),
+        )
+
+    def _combined_gradient(
+        self, o: np.ndarray, local: np.ndarray, stats: EnergyStats
+    ) -> np.ndarray:
+        """Globally-centred ``∇L = 2⟨(l − L̄) O⟩`` across all ranks."""
+        if self._world_size() == 1:
+            return grad_from_per_sample(o, local)
+        centred = local - stats.mean
+        partial = 2.0 * (centred @ o)
+        return self._allreduce(partial) / stats.count
+
+    def _natural_gradient(
+        self,
+        o: np.ndarray,
+        local: np.ndarray,
+        grad: np.ndarray,
+        stats: EnergyStats,
+    ) -> np.ndarray:
+        """Apply SR. In parallel runs the Fisher moments are allreduced so
+        every rank solves the identical global system."""
+        assert self.sr is not None
+        if self._world_size() == 1:
+            return self.sr.natural_gradient(o, grad)
+        # Global S = ⟨O Oᵀ⟩ − ⟨O⟩⟨O⟩ᵀ from allreduced raw moments.
+        a = self._allreduce(o.T @ o)
+        m = self._allreduce(o.sum(axis=0))
+        total = stats.count
+        s = a / total - np.outer(m / total, m / total)
+        s[np.diag_indices_from(s)] += self.sr.diag_shift
+        import scipy.linalg
+
+        return scipy.linalg.solve(s, grad, assume_a="pos")
+
+    # -- training loop -----------------------------------------------------------------
+
+    def run(
+        self,
+        iterations: int,
+        batch_size: int | None = None,
+        callbacks: Sequence[Callback] = (),
+    ) -> list[StepResult]:
+        """Run ``iterations`` optimisation steps; returns all step results."""
+        if iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        for cb in callbacks:
+            cb.on_run_begin(self)
+        results: list[StepResult] = []
+        try:
+            for _ in range(iterations):
+                result = self.step(batch_size)
+                results.append(result)
+                for cb in callbacks:
+                    cb.on_step(result.step, result)
+        except StopTraining:
+            pass
+        for cb in callbacks:
+            cb.on_run_end(self)
+        return results
+
+    # -- evaluation ---------------------------------------------------------------------
+
+    def evaluate(self, batch_size: int = 1024) -> EnergyStats:
+        """Draw a fresh evaluation batch and report its energy statistics
+        (the paper's test-time protocol, §5.1)."""
+        x = self.sampler.sample(self.model, batch_size, self.rng)
+        local = local_energies(self.model, self.hamiltonian, x)
+        return self._combine_stats(local)

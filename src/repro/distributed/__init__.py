@@ -1,0 +1,38 @@
+"""Distributed runtime: the stand-in for ``torch.distributed``/NCCL.
+
+The paper's parallelisation scheme (§4) needs exactly three primitives:
+identical model replicas (broadcast), per-rank sampling (no communication),
+and gradient averaging (allreduce). This subpackage provides a
+:class:`Communicator` abstraction with those primitives plus the
+point-to-point layer they are built from, and three interchangeable
+backends:
+
+- :class:`SerialCommunicator` — world size 1, no-op collectives.
+- thread backend (:func:`repro.distributed.threads.run_threaded`) — ranks are
+  threads in one process, channels are queues; ideal for tests.
+- process backend (:func:`repro.distributed.mp.run_processes`) — ranks are OS
+  processes connected by pipes; real parallelism (numpy releases the GIL in
+  BLAS, but separate processes are the honest analogue of separate GPUs).
+
+Collective algorithms (ring allreduce, reduce-scatter + allgather, tree
+broadcast, recursive doubling) are implemented once over the point-to-point
+layer in :mod:`repro.distributed.collectives`, mirroring how NCCL builds its
+collectives over device-to-device copies.
+"""
+
+from repro.distributed.comm import Communicator, ReduceOp
+from repro.distributed.serial import SerialCommunicator
+from repro.distributed.threads import ThreadCommunicator, run_threaded, make_thread_group
+from repro.distributed.mp import run_processes
+from repro.distributed import collectives
+
+__all__ = [
+    "Communicator",
+    "ReduceOp",
+    "SerialCommunicator",
+    "ThreadCommunicator",
+    "run_threaded",
+    "make_thread_group",
+    "run_processes",
+    "collectives",
+]

@@ -1,0 +1,255 @@
+"""Communicator interface and reduction operators."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "ReduceOp",
+    "Communicator",
+    "SubCommunicator",
+    "CommStats",
+    "CommTimeoutError",
+]
+
+#: default seconds to wait on a peer before declaring the job wedged
+DEFAULT_TIMEOUT = 60.0
+
+
+class CommTimeoutError(RuntimeError):
+    """A peer did not produce an expected message in time (deadlock guard)."""
+
+
+class ReduceOp:
+    """Elementwise reduction operators for allreduce/reduce."""
+
+    _OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+        "sum": lambda a, b: a + b,
+        "prod": lambda a, b: a * b,
+        "max": np.maximum,
+        "min": np.minimum,
+    }
+
+    @classmethod
+    def get(cls, op: str) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+        if op == "mean":
+            # 'mean' is sum followed by division by world size; the caller
+            # (Communicator.allreduce) handles the division.
+            return cls._OPS["sum"]
+        try:
+            return cls._OPS[op]
+        except KeyError:
+            raise ValueError(
+                f"unknown reduce op {op!r}; expected one of "
+                f"{sorted(cls._OPS) + ['mean']}"
+            ) from None
+
+    @classmethod
+    def names(cls) -> list[str]:
+        return sorted(cls._OPS) + ["mean"]
+
+
+class CommStats:
+    """Traffic counters for one communicator endpoint.
+
+    Filled by the backends' ``send``/``recv``; lets users verify
+    communication-volume claims (e.g. the paper's O(hn) floats per
+    data-parallel step) empirically: read, do work, diff.
+    """
+
+    __slots__ = ("messages_sent", "messages_received", "bytes_sent", "bytes_received")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"CommStats(sent={self.messages_sent} msgs/{self.bytes_sent} B, "
+            f"recv={self.messages_received} msgs/{self.bytes_received} B)"
+        )
+
+
+class Communicator:
+    """Abstract communicator: point-to-point plus collectives.
+
+    Backends implement ``send``/``recv`` (and may override collectives with
+    something smarter); the default collective implementations live in
+    :mod:`repro.distributed.collectives` and are algorithm-selectable.
+    Backends call :meth:`_count_send`/:meth:`_count_recv` so
+    :attr:`stats` tracks traffic uniformly.
+    """
+
+    #: collective algorithm: 'ring' | 'rec_double' | 'naive'
+    algorithm = "ring"
+
+    @property
+    def stats(self) -> CommStats:
+        existing = getattr(self, "_stats_counters", None)
+        if existing is None:
+            existing = CommStats()
+            # object.__setattr__-free: communicators are plain classes.
+            self._stats_counters = existing
+        return existing
+
+    def _count_send(self, array: np.ndarray) -> None:
+        s = self.stats
+        s.messages_sent += 1
+        s.bytes_sent += int(np.asarray(array).nbytes)
+
+    def _count_recv(self, array: np.ndarray) -> None:
+        s = self.stats
+        s.messages_received += 1
+        s.bytes_received += int(np.asarray(array).nbytes)
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def rank(self) -> int:
+        raise NotImplementedError
+
+    # -- point to point -------------------------------------------------------
+
+    def send(self, dest: int, array: np.ndarray) -> None:
+        """Asynchronous (eager) send; must never deadlock against a send
+        from the peer."""
+        raise NotImplementedError
+
+    def recv(self, source: int, timeout: float = DEFAULT_TIMEOUT) -> np.ndarray:
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        raise NotImplementedError
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"peer {peer} out of range for world size {self.size}")
+        if peer == self.rank:
+            raise ValueError("self-send is not supported")
+
+    # -- collectives (default implementations) ----------------------------------
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        from repro.distributed import collectives
+
+        array = np.ascontiguousarray(array, dtype=np.float64)
+        if self.size == 1:
+            out = array.copy()
+        elif self.algorithm == "ring":
+            out = collectives.ring_allreduce(self, array, op)
+        elif self.algorithm == "rec_double":
+            out = collectives.recursive_doubling_allreduce(self, array, op)
+        elif self.algorithm == "naive":
+            out = collectives.naive_allreduce(self, array, op)
+        else:
+            raise ValueError(f"unknown collective algorithm {self.algorithm!r}")
+        if op == "mean":
+            out = out / self.size
+        return out
+
+    def broadcast(self, array: np.ndarray, root: int = 0) -> np.ndarray:
+        from repro.distributed import collectives
+
+        array = np.ascontiguousarray(array, dtype=np.float64)
+        if self.size == 1:
+            return array.copy()
+        return collectives.tree_broadcast(self, array, root)
+
+    def allgather(self, array: np.ndarray) -> list[np.ndarray]:
+        from repro.distributed import collectives
+
+        array = np.ascontiguousarray(array, dtype=np.float64)
+        if self.size == 1:
+            return [array.copy()]
+        return collectives.ring_allgather(self, array)
+
+    def reduce(self, array: np.ndarray, root: int = 0, op: str = "sum") -> np.ndarray | None:
+        """Reduce to ``root``; other ranks return None."""
+        from repro.distributed import collectives
+
+        array = np.ascontiguousarray(array, dtype=np.float64)
+        if self.size == 1:
+            return array.copy()
+        out = collectives.tree_reduce(self, array, root, op)
+        if op == "mean" and out is not None:
+            out = out / self.size
+        return out
+
+    # -- subcommunicators -----------------------------------------------------------
+
+    def split(self, color: int, key: int | None = None) -> "SubCommunicator":
+        """MPI_Comm_split: ranks with the same ``color`` form a subgroup,
+        ordered by ``key`` (ties broken by parent rank; default: parent
+        rank order). Collective — every rank of this communicator must
+        call it.
+
+        The subcommunicator reuses the parent's channels with rank
+        translation, so parent-level and sub-level traffic must not be
+        interleaved concurrently between the same pair of ranks (use one
+        context at a time — the hierarchical-collective pattern).
+        """
+        key = self.rank if key is None else key
+        triples = self.allgather(
+            np.array([float(color), float(key), float(self.rank)])
+        )
+        members = sorted(
+            (int(k), int(r))
+            for c, k, r in (t for t in triples)
+            if int(c) == color
+        )
+        group = [r for _, r in members]
+        return SubCommunicator(self, group)
+
+
+class SubCommunicator(Communicator):
+    """A communicator over a subset of a parent's ranks (rank-translated)."""
+
+    def __init__(self, parent: Communicator, group: list[int]):
+        if parent.rank not in group:
+            raise ValueError(
+                f"rank {parent.rank} is not a member of the group {group}"
+            )
+        if len(set(group)) != len(group):
+            raise ValueError(f"duplicate ranks in group {group}")
+        self.parent = parent
+        self.group = list(group)
+        self._rank = self.group.index(parent.rank)
+        self.algorithm = parent.algorithm
+
+    @property
+    def size(self) -> int:
+        return len(self.group)
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    def send(self, dest: int, array: np.ndarray) -> None:
+        self._check_peer(dest)
+        self.parent.send(self.group[dest], array)
+
+    def recv(self, source: int, timeout: float = DEFAULT_TIMEOUT) -> np.ndarray:
+        self._check_peer(source)
+        return self.parent.recv(self.group[source], timeout=timeout)
+
+    def barrier(self) -> None:
+        # Dissemination barrier within the group (cannot reuse the parent's
+        # global barrier — it would wait for non-members).
+        token = np.zeros(1)
+        distance = 1
+        while distance < self.size:
+            self.send((self._rank + distance) % self.size, token)
+            self.recv((self._rank - distance) % self.size)
+            distance <<= 1

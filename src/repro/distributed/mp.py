@@ -1,0 +1,187 @@
+"""Process-backed communicator (ranks are OS processes, channels are pipes).
+
+This is the honest analogue of the paper's multi-GPU setup: each rank has
+its own address space and model replica; all coordination goes through
+explicit messages. Sends are made eager with a per-peer sender thread
+(MPI-style eager protocol), so the collective algorithms cannot deadlock on
+full pipe buffers even when every rank sends simultaneously.
+
+Entry point: :func:`run_processes` — forks ``world_size`` workers, runs
+``fn(comm, rank, *args)`` in each, and returns the per-rank results.
+``fn`` and its arguments/results must be picklable under the ``fork`` start
+method (module-level functions; closures work on Linux fork).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.distributed.comm import Communicator, CommTimeoutError, DEFAULT_TIMEOUT
+
+__all__ = ["PipeCommunicator", "run_processes"]
+
+
+class _EagerSender:
+    """Background thread draining an outbox queue into a pipe connection."""
+
+    def __init__(self, conn):
+        self._conn = conn
+        self._outbox: queue.Queue = queue.Queue()
+        self._thread = threading.Thread(target=self._drain, daemon=True)
+        self._thread.start()
+
+    def _drain(self) -> None:
+        while True:
+            item = self._outbox.get()
+            if item is None:
+                return
+            try:
+                self._conn.send(item)
+            except (BrokenPipeError, OSError):
+                return
+
+    def send(self, array: np.ndarray) -> None:
+        self._outbox.put(np.array(array, copy=True))
+
+    def close(self) -> None:
+        self._outbox.put(None)
+        self._thread.join(timeout=5.0)
+
+
+class PipeCommunicator(Communicator):
+    """Communicator over pairwise ``multiprocessing.Pipe`` connections."""
+
+    def __init__(self, rank: int, size: int, connections: dict[int, Any]):
+        self._rank = rank
+        self._size = size
+        self._conns = connections
+        self._senders: dict[int, _EagerSender] = {}
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    def send(self, dest: int, array: np.ndarray) -> None:
+        self._check_peer(dest)
+        if dest not in self._senders:
+            self._senders[dest] = _EagerSender(self._conns[dest])
+        self._count_send(array)
+        self._senders[dest].send(array)
+
+    def recv(self, source: int, timeout: float = DEFAULT_TIMEOUT) -> np.ndarray:
+        self._check_peer(source)
+        conn = self._conns[source]
+        if not conn.poll(timeout):
+            raise CommTimeoutError(
+                f"rank {self._rank}: no message from rank {source} within {timeout}s"
+            )
+        out = conn.recv()
+        self._count_recv(out)
+        return out
+
+    def barrier(self) -> None:
+        # Dissemination barrier: log2(L) rounds of token exchange.
+        token = np.zeros(1)
+        distance = 1
+        while distance < self._size:
+            dest = (self._rank + distance) % self._size
+            src = (self._rank - distance) % self._size
+            self.send(dest, token)
+            self.recv(src)
+            distance <<= 1
+
+    def close(self) -> None:
+        for sender in self._senders.values():
+            sender.close()
+
+
+def _worker(rank, size, conn_map, result_conn, fn, args):
+    comm = PipeCommunicator(rank, size, conn_map)
+    try:
+        result = fn(comm, rank, *args)
+        result_conn.send((rank, "ok", result))
+    except BaseException as exc:  # noqa: BLE001 — shipped to the parent
+        result_conn.send((rank, "error", repr(exc)))
+    finally:
+        comm.close()
+        result_conn.close()
+
+
+def run_processes(
+    fn: Callable[..., Any],
+    world_size: int,
+    args: Sequence[Any] = (),
+    timeout: float = 300.0,
+) -> list[Any]:
+    """Run ``fn(comm, rank, *args)`` on ``world_size`` processes.
+
+    Returns the per-rank results (rank order). Raises ``RuntimeError`` if
+    any rank failed, with the remote exception repr in the message.
+    """
+    if world_size < 1:
+        raise ValueError(f"world size must be >= 1, got {world_size}")
+    ctx = mp.get_context("fork")
+
+    # Pairwise full-duplex pipes: conns[i][j] is rank i's endpoint to rank j.
+    conns: list[dict[int, Any]] = [dict() for _ in range(world_size)]
+    for i in range(world_size):
+        for j in range(i + 1, world_size):
+            end_i, end_j = ctx.Pipe(duplex=True)
+            conns[i][j] = end_i
+            conns[j][i] = end_j
+
+    result_parent, result_children = [], []
+    for _ in range(world_size):
+        parent_end, child_end = ctx.Pipe(duplex=False)
+        result_parent.append(parent_end)
+        result_children.append(child_end)
+
+    procs = [
+        ctx.Process(
+            target=_worker,
+            args=(r, world_size, conns[r], result_children[r], fn, tuple(args)),
+            daemon=True,
+        )
+        for r in range(world_size)
+    ]
+    for p in procs:
+        p.start()
+    # Parent closes its copies of the child ends so EOF propagates.
+    for child_end in result_children:
+        child_end.close()
+    for rank_conns in conns:
+        for c in rank_conns.values():
+            c.close()
+
+    results: list[Any] = [None] * world_size
+    errors: list[str] = []
+    for r, conn in enumerate(result_parent):
+        if not conn.poll(timeout):
+            errors.append(f"rank {r}: no result within {timeout}s")
+            continue
+        try:
+            rank, status, payload = conn.recv()
+        except EOFError:
+            errors.append(f"rank {r}: worker died without reporting a result")
+            continue
+        if status == "ok":
+            results[rank] = payload
+        else:
+            errors.append(f"rank {rank}: {payload}")
+
+    for p in procs:
+        p.join(timeout=10.0)
+        if p.is_alive():
+            p.terminate()
+    if errors:
+        raise RuntimeError("distributed run failed: " + "; ".join(errors))
+    return results

@@ -1,0 +1,117 @@
+"""Thread-backed communicator.
+
+Ranks are threads inside one process; each ordered pair of ranks has a
+dedicated unbounded queue, so sends are eager by construction (they never
+block on the peer), which is the property the collective algorithms rely on.
+
+numpy releases the GIL inside BLAS kernels, so thread ranks do overlap in
+the compute-heavy sections; for honest process-level parallelism use
+:mod:`repro.distributed.mp`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.distributed.comm import Communicator, CommTimeoutError, DEFAULT_TIMEOUT
+
+__all__ = ["ThreadCommunicator", "make_thread_group", "run_threaded"]
+
+
+class ThreadCommunicator(Communicator):
+    """One rank's endpoint of a thread group (see :func:`make_thread_group`)."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        mailboxes: list[list["queue.Queue"]],
+        barrier: threading.Barrier,
+    ):
+        self._rank = rank
+        self._size = size
+        self._mailboxes = mailboxes
+        self._barrier = barrier
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    def send(self, dest: int, array: np.ndarray) -> None:
+        self._check_peer(dest)
+        # Copy: sender may mutate its buffer after send returns (MPI eager
+        # semantics), and queues share memory between threads.
+        self._count_send(array)
+        self._mailboxes[dest][self._rank].put(np.array(array, copy=True))
+
+    def recv(self, source: int, timeout: float = DEFAULT_TIMEOUT) -> np.ndarray:
+        self._check_peer(source)
+        try:
+            out = self._mailboxes[self._rank][source].get(timeout=timeout)
+        except queue.Empty:
+            raise CommTimeoutError(
+                f"rank {self._rank}: no message from rank {source} "
+                f"within {timeout}s"
+            ) from None
+        self._count_recv(out)
+        return out
+
+    def barrier(self) -> None:
+        self._barrier.wait()
+
+
+def make_thread_group(size: int) -> list[ThreadCommunicator]:
+    """Create ``size`` communicators wired into one group.
+
+    Intended for tests that drive all ranks from a thread pool (or even a
+    single thread, since sends are eager).
+    """
+    if size < 1:
+        raise ValueError(f"world size must be >= 1, got {size}")
+    mailboxes = [[queue.Queue() for _ in range(size)] for _ in range(size)]
+    barrier = threading.Barrier(size)
+    return [ThreadCommunicator(r, size, mailboxes, barrier) for r in range(size)]
+
+
+def run_threaded(
+    fn: Callable[..., Any],
+    world_size: int,
+    args: Sequence[Any] = (),
+    timeout: float = 300.0,
+) -> list[Any]:
+    """Run ``fn(comm, rank, *args)`` on ``world_size`` threads; return results.
+
+    Exceptions in any rank are re-raised in the caller (first by rank).
+    """
+    comms = make_thread_group(world_size)
+    results: list[Any] = [None] * world_size
+    errors: list[BaseException | None] = [None] * world_size
+
+    def target(rank: int) -> None:
+        try:
+            results[rank] = fn(comms[rank], rank, *args)
+        except BaseException as exc:  # noqa: BLE001 — propagated to caller
+            errors[rank] = exc
+
+    threads = [
+        threading.Thread(target=target, args=(r,), daemon=True)
+        for r in range(world_size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            raise CommTimeoutError(f"worker thread did not finish within {timeout}s")
+    for err in errors:
+        if err is not None:
+            raise err
+    return results

@@ -1,0 +1,33 @@
+"""Experiment protocol and sweep framework.
+
+- :mod:`repro.experiments.protocol` — the paper's §5.1 experimental
+  protocol as code: architecture builders (MADE h = 5(log n)², RBM h = n),
+  optimiser settings (Adam 0.01 / SGD 0.1 / SR λ=0.001), the 2-chain
+  k = 3n+100 MCMC sampler, and :func:`train_once` running one full
+  train-and-evaluate cycle.
+- :mod:`repro.experiments.sweep` — declarative parameter grids expanded
+  into trials, executed sequentially or on a process pool, aggregated into
+  mean ± std tables (the machinery behind the multi-seed tables).
+"""
+
+from repro.experiments.protocol import (
+    TrainOutcome,
+    build_model,
+    build_optimizer,
+    build_sampler,
+    make_hamiltonian,
+    train_once,
+)
+from repro.experiments.sweep import Sweep, TrialSpec, aggregate
+
+__all__ = [
+    "TrainOutcome",
+    "build_model",
+    "build_optimizer",
+    "build_sampler",
+    "make_hamiltonian",
+    "train_once",
+    "Sweep",
+    "TrialSpec",
+    "aggregate",
+]

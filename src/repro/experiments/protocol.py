@@ -1,0 +1,155 @@
+"""The paper's experimental protocol (§5.1), as reusable code.
+
+Settings encoded here:
+
+- architectures: MADE with ``h = 5 (log n)²``, RBM with ``h = n``;
+- optimisers: SGD lr 0.1, Adam lr 0.01 (default), SGD+SR with λ = 0.001
+  and lr 0.1, no learning-rate schedule;
+- sampling: exact AUTO for MADE; random-walk MH with 2 chains and burn-in
+  ``k = 3n + 100`` for RBM;
+- evaluation: after training, draw a fresh batch from the trained model and
+  report its statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.callbacks import History
+from repro.core.vqmc import VQMC
+from repro.hamiltonians import (
+    LatticeTFIM,
+    MaxCut,
+    TransverseFieldIsing,
+)
+from repro.models import MADE, RBM, MeanField, RNNWaveFunction
+from repro.optim import SGD, Adam, StochasticReconfiguration
+from repro.samplers import (
+    AutoregressiveSampler,
+    MetropolisSampler,
+    ParallelTemperingSampler,
+)
+
+__all__ = [
+    "build_model",
+    "build_sampler",
+    "build_optimizer",
+    "make_hamiltonian",
+    "train_once",
+    "TrainOutcome",
+]
+
+
+def build_model(arch: str, n: int, seed: int, hidden=None):
+    """§5.1 architectures: ``'made'`` (h = 5(log n)²), ``'rbm'`` (h = n),
+    plus the ``'mean_field'`` and ``'rnn'`` extension ansätze."""
+    rng = np.random.default_rng(seed)
+    if arch == "made":
+        return MADE(n, hidden=hidden, rng=rng)
+    if arch == "rbm":
+        return RBM(n, hidden=hidden, rng=rng)
+    if arch == "mean_field":
+        return MeanField(n, rng=rng)
+    if arch == "rnn":
+        return RNNWaveFunction(n, hidden=hidden or 32, rng=rng)
+    raise ValueError(f"unknown architecture {arch!r}")
+
+
+def build_sampler(kind: str, n: int, burn_in=None, thin: int = 1):
+    """``'auto'``, the paper's 2-chain MH (``'mcmc'``), or parallel
+    tempering (``'tempering'``, extension)."""
+    if kind == "auto":
+        return AutoregressiveSampler()
+    if kind == "mcmc":
+        return MetropolisSampler(n_chains=2, burn_in=burn_in, thin=thin)
+    if kind == "tempering":
+        return ParallelTemperingSampler(burn_in=burn_in)
+    raise ValueError(f"unknown sampler {kind!r}")
+
+
+def build_optimizer(kind: str, model):
+    """§5.1 training settings. Returns ``(optimizer, sr_or_None)``."""
+    if kind == "sgd":
+        return SGD(model.parameters(), lr=0.1), None
+    if kind == "adam":
+        return Adam(model.parameters(), lr=0.01), None
+    if kind == "sgd+sr":
+        return (
+            SGD(model.parameters(), lr=0.1),
+            StochasticReconfiguration(diag_shift=1e-3),
+        )
+    raise ValueError(f"unknown optimizer {kind!r}")
+
+
+def make_hamiltonian(kind: str, n: int, seed: int = 0, **kwargs):
+    """Problem factories used across the paper's tables.
+
+    ``'tim'`` — dense disordered TIM (§5.1); ``'maxcut'`` — Bernoulli
+    random graph (§5.1); ``'chain'`` / ``'grid'`` — geometrically-local
+    TFIM (extension).
+    """
+    if kind == "tim":
+        return TransverseFieldIsing.random(n, seed=seed)
+    if kind == "maxcut":
+        return MaxCut.random(n, seed=seed, **kwargs)
+    if kind == "chain":
+        return LatticeTFIM((n,), **kwargs)
+    if kind == "grid":
+        lx = kwargs.pop("lx", None)
+        ly = kwargs.pop("ly", None)
+        if lx is None or ly is None or lx * ly != n:
+            raise ValueError("grid requires lx, ly with lx*ly == n")
+        return LatticeTFIM((lx, ly), **kwargs)
+    raise ValueError(f"unknown hamiltonian kind {kind!r}")
+
+
+@dataclass
+class TrainOutcome:
+    """Result of one protocol run (evaluation-batch statistics)."""
+
+    final_energy: float
+    final_std: float
+    best_cut: float | None
+    train_seconds: float
+    history: History
+
+
+def train_once(
+    hamiltonian,
+    arch: str,
+    sampler_kind: str,
+    optimizer_kind: str,
+    iterations: int,
+    batch_size: int,
+    seed: int,
+    hidden=None,
+    burn_in=None,
+    thin: int = 1,
+    eval_batch: int | None = None,
+) -> TrainOutcome:
+    """One full training run under the paper's protocol."""
+    n = hamiltonian.n
+    model = build_model(arch, n, seed, hidden=hidden)
+    sampler = build_sampler(sampler_kind, n, burn_in=burn_in, thin=thin)
+    optimizer, sr = build_optimizer(optimizer_kind, model)
+    vqmc = VQMC(model, hamiltonian, sampler, optimizer, sr=sr, seed=seed + 10_000)
+    history = History()
+    start = time.perf_counter()
+    vqmc.run(iterations, batch_size=batch_size, callbacks=[history])
+    train_seconds = time.perf_counter() - start
+
+    stats = vqmc.evaluate(batch_size=eval_batch or batch_size)
+    best_cut = None
+    if isinstance(hamiltonian, MaxCut):
+        x = sampler.sample(model, eval_batch or batch_size, vqmc.rng)
+        best_cut = float(hamiltonian.cut_value(x).max())
+    return TrainOutcome(
+        final_energy=stats.mean,
+        final_std=stats.std,
+        best_cut=best_cut,
+        train_seconds=train_seconds,
+        history=history,
+    )

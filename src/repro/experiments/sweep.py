@@ -1,0 +1,145 @@
+"""Declarative parameter sweeps with aggregation.
+
+A :class:`Sweep` expands a parameter grid into :class:`TrialSpec`s, runs
+them (sequentially, or on a process pool for genuinely parallel machines)
+and collects :class:`TrialRecord`s; :func:`aggregate` groups records and
+reduces a metric to mean ± std — the exact shape of the paper's multi-seed
+tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.experiments.protocol import make_hamiltonian, train_once
+
+__all__ = ["TrialSpec", "TrialRecord", "Sweep", "aggregate"]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One training run's full configuration."""
+
+    problem: str = "tim"  # 'tim' | 'maxcut' | 'chain' | 'grid'
+    n: int = 20
+    arch: str = "made"
+    sampler: str = "auto"
+    optimizer: str = "adam"
+    iterations: int = 50
+    batch_size: int = 256
+    seed: int = 0
+    instance_seed: int = 0
+    hidden: int | None = None
+    burn_in: int | None = None
+    thin: int = 1
+
+    def run(self) -> "TrialRecord":
+        ham = make_hamiltonian(self.problem, self.n, seed=self.instance_seed)
+        out = train_once(
+            ham,
+            self.arch,
+            self.sampler,
+            self.optimizer,
+            self.iterations,
+            self.batch_size,
+            seed=self.seed,
+            hidden=self.hidden,
+            burn_in=self.burn_in,
+            thin=self.thin,
+        )
+        return TrialRecord(
+            spec=self,
+            final_energy=out.final_energy,
+            final_std=out.final_std,
+            best_cut=out.best_cut,
+            train_seconds=out.train_seconds,
+            energy_curve=np.asarray(out.history.energy),
+        )
+
+
+@dataclass
+class TrialRecord:
+    spec: TrialSpec
+    final_energy: float
+    final_std: float
+    best_cut: float | None
+    train_seconds: float
+    energy_curve: np.ndarray = field(repr=False)
+
+    def value(self, metric: str):
+        if metric in ("final_energy", "final_std", "best_cut", "train_seconds"):
+            return getattr(self, metric)
+        raise KeyError(f"unknown metric {metric!r}")
+
+
+def _run_trial(spec: TrialSpec) -> TrialRecord:
+    return spec.run()
+
+
+class Sweep:
+    """Cartesian-product sweep over TrialSpec fields.
+
+    Examples
+    --------
+    >>> sweep = Sweep(base=TrialSpec(problem="maxcut", iterations=20),
+    ...               grid={"n": [16, 30], "seed": [0, 1, 2]})
+    >>> len(sweep.trials())
+    6
+    """
+
+    def __init__(self, base: TrialSpec, grid: dict[str, Sequence[Any]]):
+        valid = set(asdict(base))
+        unknown = set(grid) - valid
+        if unknown:
+            raise KeyError(f"unknown TrialSpec fields in grid: {sorted(unknown)}")
+        self.base = base
+        self.grid = {k: list(v) for k, v in grid.items()}
+        if any(len(v) == 0 for v in self.grid.values()):
+            raise ValueError("grid axes must be non-empty")
+
+    def trials(self) -> list[TrialSpec]:
+        keys = list(self.grid)
+        combos = itertools.product(*(self.grid[k] for k in keys))
+        base = asdict(self.base)
+        out = []
+        for combo in combos:
+            cfg = dict(base)
+            cfg.update(dict(zip(keys, combo)))
+            out.append(TrialSpec(**cfg))
+        return out
+
+    def run(self, workers: int = 1) -> list[TrialRecord]:
+        """Run all trials; ``workers > 1`` uses a process pool."""
+        trials = self.trials()
+        if workers <= 1:
+            return [t.run() for t in trials]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_trial, trials))
+
+
+def aggregate(
+    records: Iterable[TrialRecord],
+    by: Sequence[str],
+    metric: str = "final_energy",
+) -> dict[tuple, tuple[float, float]]:
+    """Group records by spec fields and reduce ``metric`` to (mean, std).
+
+    ``by`` names TrialSpec fields (e.g. ``("n", "optimizer")``); the seeds
+    axis is what typically gets averaged over.
+    """
+    groups: dict[tuple, list[float]] = {}
+    for rec in records:
+        key = tuple(getattr(rec.spec, f) for f in by)
+        val = rec.value(metric)
+        if val is None:
+            raise ValueError(f"metric {metric!r} is None for {rec.spec}")
+        groups.setdefault(key, []).append(float(val))
+    return {
+        key: (float(np.mean(vals)), float(np.std(vals)))
+        for key, vals in sorted(groups.items())
+    }

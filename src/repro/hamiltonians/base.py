@@ -1,0 +1,127 @@
+"""Hamiltonian interface and bit/spin conventions.
+
+Conventions
+-----------
+- Configurations are bit-strings ``x ∈ {0,1}^n``, batched as ``(B, n)``
+  float arrays (matching the neural-network input convention).
+- Spins are ``z_i = 1 - 2 x_i ∈ {+1, -1}`` (so bit 0 ↦ spin +1), matching
+  the paper's Eq. 13 where the Z-eigenvalue enters as ``(1 - 2 x_i)``.
+- A row index of the matrix is the big-endian integer
+  ``x = 2^{n-1} x_1 + … + 2^0 x_n`` (paper §2.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Hamiltonian", "bits_to_spins", "spins_to_bits", "index_to_bits", "bits_to_index"]
+
+
+def bits_to_spins(x: np.ndarray) -> np.ndarray:
+    """Map bits {0,1} to spins {+1,-1} via ``z = 1 - 2x``."""
+    return 1.0 - 2.0 * np.asarray(x, dtype=np.float64)
+
+
+def spins_to_bits(z: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`bits_to_spins`."""
+    return (1.0 - np.asarray(z, dtype=np.float64)) / 2.0
+
+
+def index_to_bits(idx: np.ndarray | int, n: int) -> np.ndarray:
+    """Big-endian binary representation of row indices — shape (..., n)."""
+    idx = np.asarray(idx)
+    shifts = np.arange(n - 1, -1, -1)
+    return ((idx[..., None] >> shifts) & 1).astype(np.float64)
+
+
+def bits_to_index(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`index_to_bits` (big-endian)."""
+    x = np.asarray(x)
+    n = x.shape[-1]
+    weights = (1 << np.arange(n - 1, -1, -1)).astype(np.int64)
+    return (x.astype(np.int64) @ weights)
+
+
+class Hamiltonian:
+    """Row-sparse, efficiently row-computable Hamiltonian (Definition 2.1).
+
+    Subclasses implement :meth:`diagonal` and :meth:`connected`; everything
+    else (local energies, exact matrices, VQMC) is generic.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"need at least one site, got n={n}")
+        self.n = n
+
+    # -- required ---------------------------------------------------------------
+
+    def diagonal(self, x: np.ndarray) -> np.ndarray:
+        """Diagonal matrix elements ``H_xx`` for a batch — shape (B,)."""
+        raise NotImplementedError
+
+    def connected(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Off-diagonal row entries for each configuration in the batch.
+
+        Returns ``(neighbours, amplitudes)`` of shapes ``(B, K, n)`` and
+        ``(B, K)``: for each ``x_b``, ``H[x_b, neighbours[b, k]] =
+        amplitudes[b, k]``. ``K`` may be 0 for diagonal Hamiltonians
+        (e.g. Max-Cut), in which case both arrays have a zero-sized axis.
+        """
+        raise NotImplementedError
+
+    @property
+    def sparsity(self) -> int:
+        """Upper bound on off-diagonal entries per row (``s`` of Def. 2.1)."""
+        raise NotImplementedError
+
+    # -- generic helpers ----------------------------------------------------------
+
+    def _check_batch(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.ndim != 2 or x.shape[1] != self.n:
+            raise ValueError(f"expected (B, {self.n}) configurations, got {x.shape}")
+        return x
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the full ``2^n × 2^n`` matrix (validation; n ≤ 14)."""
+        if self.n > 14:
+            raise ValueError(f"refusing to materialise 2^{self.n} dense matrix")
+        dim = 2**self.n
+        states = index_to_bits(np.arange(dim), self.n)
+        mat = np.zeros((dim, dim))
+        mat[np.arange(dim), np.arange(dim)] = self.diagonal(states)
+        nbrs, amps = self.connected(states)
+        if nbrs.shape[1]:
+            cols = bits_to_index(nbrs.reshape(-1, self.n)).reshape(dim, -1)
+            for row in range(dim):
+                for k in range(cols.shape[1]):
+                    mat[row, cols[row, k]] += amps[row, k]
+        return mat
+
+    def to_sparse(self):
+        """Materialise as ``scipy.sparse.csr_matrix`` (validation; n ≤ 20)."""
+        import scipy.sparse as sp
+
+        if self.n > 20:
+            raise ValueError(f"refusing to materialise 2^{self.n} sparse matrix")
+        dim = 2**self.n
+        states = index_to_bits(np.arange(dim), self.n)
+        diag = self.diagonal(states)
+        rows = [np.arange(dim)]
+        cols = [np.arange(dim)]
+        vals = [diag]
+        nbrs, amps = self.connected(states)
+        k = nbrs.shape[1]
+        if k:
+            cidx = bits_to_index(nbrs.reshape(-1, self.n))
+            rows.append(np.repeat(np.arange(dim), k))
+            cols.append(cidx)
+            vals.append(amps.ravel())
+        mat = sp.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(dim, dim),
+        )
+        return mat.tocsr()

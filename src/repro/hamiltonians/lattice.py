@@ -1,0 +1,135 @@
+"""Geometrically-local transverse-field Ising models on lattices.
+
+The paper deliberately studies *non*-geometrically-local Hamiltonians
+(dense random couplings) where MCMC proposals have no structure to exploit.
+This module adds the complementary, classic setting — TFIM on a chain or a
+square lattice with uniform couplings:
+
+    H = -J Σ_<ij> Z_i Z_j - Γ Σ_i X_i
+
+which is the system of Carleo & Troyer (2017) that the paper's §3 builds
+on. The 1-D chain has an exact solution by Jordan–Wigner transformation to
+free fermions, giving a parameter-free ground-truth energy at *any* size:
+
+    E₀ = -Σ_k ε(k)/…  with ε(k) = 2 sqrt(J² + Γ² - 2 J Γ cos k)
+
+(open or periodic chains; we implement the standard periodic-chain formula
+with the correct parity sector). This provides a large-n validation target
+the dense disordered models cannot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hamiltonians.zzx import ZZXHamiltonian
+
+__all__ = ["LatticeTFIM", "tfim_chain_exact_energy"]
+
+
+class LatticeTFIM(ZZXHamiltonian):
+    """Uniform TFIM on a chain or square lattice.
+
+    Parameters
+    ----------
+    shape:
+        ``(L,)`` for a chain of L sites, ``(Lx, Ly)`` for a square lattice.
+    coupling:
+        Ising coupling J (> 0 ferromagnetic).
+    field:
+        Transverse field Γ ≥ 0.
+    periodic:
+        Wrap-around bonds.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        coupling: float = 1.0,
+        field: float = 1.0,
+        periodic: bool = True,
+    ):
+        if field < 0:
+            raise ValueError(
+                f"transverse field must be >= 0 (Perron-Frobenius), got {field}"
+            )
+        if len(shape) == 1:
+            n = shape[0]
+            bonds = self._chain_bonds(n, periodic)
+        elif len(shape) == 2:
+            n = shape[0] * shape[1]
+            bonds = self._grid_bonds(shape[0], shape[1], periodic)
+        else:
+            raise ValueError(f"only 1-D and 2-D lattices supported, got {shape}")
+
+        couplings = np.zeros((n, n))
+        for i, j in bonds:
+            couplings[i, j] += coupling
+            couplings[j, i] += coupling
+        super().__init__(
+            alpha=np.full(n, float(field)),
+            beta=np.zeros(n),
+            couplings=couplings,
+        )
+        self.shape = tuple(shape)
+        self.coupling = float(coupling)
+        self.field = float(field)
+        self.periodic = periodic
+        self.bonds = bonds
+
+    @staticmethod
+    def _chain_bonds(n: int, periodic: bool) -> list[tuple[int, int]]:
+        if n < 2:
+            raise ValueError(f"chain needs at least 2 sites, got {n}")
+        bonds = [(i, i + 1) for i in range(n - 1)]
+        if periodic and n > 2:
+            bonds.append((0, n - 1))
+        return bonds
+
+    @staticmethod
+    def _grid_bonds(lx: int, ly: int, periodic: bool) -> list[tuple[int, int]]:
+        if lx < 2 or ly < 2:
+            raise ValueError(f"grid needs at least 2x2 sites, got {lx}x{ly}")
+
+        def site(x: int, y: int) -> int:
+            return x * ly + y
+
+        bonds = []
+        for x in range(lx):
+            for y in range(ly):
+                right = (x + 1, y)
+                up = (x, y + 1)
+                if right[0] < lx:
+                    bonds.append((site(x, y), site(*right)))
+                elif periodic and lx > 2:
+                    bonds.append((site(0, y), site(x, y)))
+                if up[1] < ly:
+                    bonds.append((site(x, y), site(*up)))
+                elif periodic and ly > 2:
+                    bonds.append((site(x, 0), site(x, y)))
+        return [(min(a, b), max(a, b)) for a, b in bonds]
+
+
+def tfim_chain_exact_energy(
+    n: int, coupling: float = 1.0, field: float = 1.0
+) -> float:
+    """Exact ground energy of the periodic 1-D TFIM via Jordan–Wigner.
+
+    ``H = -J Σ Z_i Z_{i+1} - Γ Σ X_i`` maps to free fermions with dispersion
+    ``ε(k) = 2 sqrt(J² + Γ² − 2JΓ cos k)``. The fermion-parity constraint
+    selects antiperiodic momenta ``k = π(2m+1)/n`` (even sector), whose
+    Bogoliubov vacuum is the true ground state for all (J, Γ):
+
+        E₀ = −½ Σ_{m=0}^{n-1} ε(k_m) .
+
+    Validated against exact diagonalisation to machine precision for
+    n ≤ 14 in the test suite.
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 sites, got {n}")
+    m = np.arange(n)
+    k = np.pi * (2.0 * m + 1.0) / n  # antiperiodic momenta
+    eps = 2.0 * np.sqrt(
+        coupling**2 + field**2 - 2.0 * coupling * field * np.cos(k)
+    )
+    return float(-0.5 * eps.sum())

@@ -1,0 +1,133 @@
+"""Hamiltonian (de)serialisation — publishable problem instances.
+
+The paper's exact random instances are unpublished, which is why absolute
+objective values can't be compared directly. This module makes our own
+instances shareable: any library Hamiltonian round-trips through a plain
+JSON-compatible dict (and therefore a ``.json`` file), so benchmark
+configurations can be pinned and re-run bit-exactly elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.hamiltonians.base import Hamiltonian
+from repro.hamiltonians.ising import TransverseFieldIsing
+from repro.hamiltonians.lattice import LatticeTFIM
+from repro.hamiltonians.maxcut import MaxCut
+from repro.hamiltonians.pauli import PauliStringHamiltonian, PauliTerm
+from repro.hamiltonians.qubo import IsingQUBO
+from repro.hamiltonians.zzx import ZZXHamiltonian
+
+__all__ = ["to_dict", "from_dict", "save_instance", "load_instance"]
+
+_FORMAT = 1
+
+
+def to_dict(ham: Hamiltonian) -> dict:
+    """Serialise a Hamiltonian to a JSON-compatible dict."""
+    if isinstance(ham, MaxCut):
+        return {
+            "format": _FORMAT,
+            "kind": "maxcut",
+            "adjacency": ham.adjacency.tolist(),
+        }
+    if isinstance(ham, LatticeTFIM):
+        return {
+            "format": _FORMAT,
+            "kind": "lattice_tfim",
+            "shape": list(ham.shape),
+            "coupling": ham.coupling,
+            "field": ham.field,
+            "periodic": ham.periodic,
+        }
+    if isinstance(ham, IsingQUBO):
+        return {
+            "format": _FORMAT,
+            "kind": "qubo",
+            "Q": ham.Q.tolist(),
+            "q": ham.q.tolist(),
+            "const": ham.const,
+        }
+    if isinstance(ham, PauliStringHamiltonian):
+        return {
+            "format": _FORMAT,
+            "kind": "pauli",
+            "n": ham.n,
+            "terms": [
+                {
+                    "coefficient": t.coefficient,
+                    "z_sites": list(t.z_sites),
+                    "x_sites": list(t.x_sites),
+                }
+                for t in ham.terms
+            ],
+        }
+    if isinstance(ham, ZZXHamiltonian):  # TIM and the generic family
+        return {
+            "format": _FORMAT,
+            "kind": "tim" if isinstance(ham, TransverseFieldIsing) else "zzx",
+            "alpha": ham.alpha.tolist(),
+            "beta": ham.beta.tolist(),
+            "couplings": ham.couplings.tolist(),
+            "offset": ham.offset,
+        }
+    raise TypeError(f"cannot serialise {type(ham).__name__}")
+
+
+def from_dict(payload: dict) -> Hamiltonian:
+    """Inverse of :func:`to_dict`."""
+    if payload.get("format") != _FORMAT:
+        raise ValueError(f"unsupported instance format {payload.get('format')!r}")
+    kind = payload["kind"]
+    if kind == "maxcut":
+        return MaxCut(np.asarray(payload["adjacency"], dtype=np.float64))
+    if kind == "lattice_tfim":
+        return LatticeTFIM(
+            tuple(payload["shape"]),
+            coupling=payload["coupling"],
+            field=payload["field"],
+            periodic=payload["periodic"],
+        )
+    if kind == "qubo":
+        return IsingQUBO(
+            Q=np.asarray(payload["Q"], dtype=np.float64),
+            q=np.asarray(payload["q"], dtype=np.float64),
+            const=payload["const"],
+        )
+    if kind == "pauli":
+        terms = [
+            PauliTerm(
+                t["coefficient"],
+                tuple(t["z_sites"]),
+                tuple(t["x_sites"]),
+            )
+            for t in payload["terms"]
+        ]
+        return PauliStringHamiltonian(payload["n"], terms, check=False)
+    if kind in ("tim", "zzx"):
+        cls = TransverseFieldIsing if kind == "tim" else ZZXHamiltonian
+        kwargs = dict(
+            alpha=np.asarray(payload["alpha"], dtype=np.float64),
+            beta=np.asarray(payload["beta"], dtype=np.float64),
+            couplings=np.asarray(payload["couplings"], dtype=np.float64),
+        )
+        if kind == "zzx":
+            kwargs["offset"] = payload["offset"]
+        elif payload.get("offset", 0.0) != 0.0:
+            raise ValueError("TIM instances must have zero offset")
+        return cls(**kwargs)
+    raise ValueError(f"unknown instance kind {kind!r}")
+
+
+def save_instance(ham: Hamiltonian, path: str | Path) -> None:
+    """Write an instance to a JSON file."""
+    Path(path).write_text(json.dumps(to_dict(ham)), encoding="utf-8")
+
+
+def load_instance(path: str | Path) -> Hamiltonian:
+    """Read an instance from a JSON file."""
+    return from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

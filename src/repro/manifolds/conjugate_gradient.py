@@ -1,0 +1,94 @@
+"""Riemannian nonlinear conjugate gradient (Polak–Ribière+)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.manifolds.problem import ManifoldProblem
+from repro.manifolds.result import OptimizeResult
+
+__all__ = ["RiemannianConjugateGradient"]
+
+
+class RiemannianConjugateGradient:
+    """PR+ conjugate gradient with projection-based vector transport.
+
+    The previous search direction is transported to the new point by tangent
+    projection (the standard choice for embedded manifolds with projection
+    retraction); β is Polak–Ribière clipped at zero, which guarantees the
+    direction resets to steepest descent when conjugacy degrades.
+    """
+
+    def __init__(
+        self,
+        max_iter: int = 500,
+        grad_tol: float = 1e-6,
+        armijo_c: float = 1e-4,
+        backtrack: float = 0.5,
+        max_backtracks: int = 40,
+        initial_step: float = 1.0,
+    ):
+        self.max_iter = max_iter
+        self.grad_tol = grad_tol
+        self.armijo_c = armijo_c
+        self.backtrack = backtrack
+        self.max_backtracks = max_backtracks
+        self.initial_step = initial_step
+
+    def solve(
+        self,
+        problem: ManifoldProblem,
+        x0: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> OptimizeResult:
+        mani = problem.manifold
+        if x0 is None:
+            if rng is None:
+                raise ValueError("either x0 or rng must be given")
+            x0 = mani.random_point(rng)
+        x = np.array(x0, copy=True)
+        cost = problem.cost(x)
+        grad = problem.rgrad(x)
+        direction = -grad
+        step = self.initial_step
+
+        for it in range(1, self.max_iter + 1):
+            gnorm = mani.norm(grad)
+            if gnorm <= self.grad_tol:
+                return OptimizeResult(x, cost, gnorm, it - 1, True, "gradient tolerance")
+
+            slope = mani.inner(grad, direction)
+            if slope >= 0:  # not a descent direction: reset to steepest descent
+                direction = -grad
+                slope = -(gnorm**2)
+
+            accepted = False
+            trial = step
+            for _ in range(self.max_backtracks):
+                candidate = mani.retract(x, trial * direction)
+                new_cost = problem.cost(candidate)
+                if new_cost <= cost + self.armijo_c * trial * slope:
+                    accepted = True
+                    break
+                trial *= self.backtrack
+            if not accepted:
+                return OptimizeResult(
+                    x, cost, gnorm, it, False, "line search failed (stationary?)"
+                )
+
+            new_grad = problem.rgrad(candidate)
+            # Transport old grad and direction to the new tangent space.
+            grad_t = mani.proj(candidate, grad)
+            dir_t = mani.proj(candidate, direction)
+            beta = max(
+                0.0,
+                mani.inner(new_grad, new_grad - grad_t)
+                / max(mani.inner(grad, grad), 1e-300),
+            )
+            direction = -new_grad + beta * dir_t
+            x, cost, grad = candidate, new_cost, new_grad
+            step = min(trial / self.backtrack, 1e6)
+
+        return OptimizeResult(
+            x, cost, mani.norm(grad), self.max_iter, False, "max iterations"
+        )

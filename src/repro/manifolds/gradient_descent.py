@@ -1,0 +1,81 @@
+"""Riemannian gradient descent with Armijo backtracking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.manifolds.problem import ManifoldProblem
+from repro.manifolds.result import OptimizeResult
+
+__all__ = ["RiemannianGradientDescent"]
+
+
+class RiemannianGradientDescent:
+    """Steepest descent along ``-grad f`` with backtracking line search.
+
+    Parameters
+    ----------
+    max_iter, grad_tol:
+        Stop when ``‖grad‖ ≤ grad_tol`` or after ``max_iter`` steps.
+    initial_step:
+        First trial step each iteration (warm-started from the previous
+        accepted step, doubled).
+    armijo_c, backtrack:
+        Sufficient-decrease constant and step-shrink factor.
+    """
+
+    def __init__(
+        self,
+        max_iter: int = 500,
+        grad_tol: float = 1e-6,
+        initial_step: float = 1.0,
+        armijo_c: float = 1e-4,
+        backtrack: float = 0.5,
+        max_backtracks: int = 40,
+    ):
+        self.max_iter = max_iter
+        self.grad_tol = grad_tol
+        self.initial_step = initial_step
+        self.armijo_c = armijo_c
+        self.backtrack = backtrack
+        self.max_backtracks = max_backtracks
+
+    def solve(
+        self, problem: ManifoldProblem, x0: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> OptimizeResult:
+        mani = problem.manifold
+        if x0 is None:
+            if rng is None:
+                raise ValueError("either x0 or rng must be given")
+            x0 = mani.random_point(rng)
+        x = np.array(x0, copy=True)
+        cost = problem.cost(x)
+        step = self.initial_step
+
+        for it in range(1, self.max_iter + 1):
+            grad = problem.rgrad(x)
+            gnorm = mani.norm(grad)
+            if gnorm <= self.grad_tol:
+                return OptimizeResult(x, cost, gnorm, it - 1, True, "gradient tolerance")
+            direction = -grad
+            slope = -(gnorm**2)
+            accepted = False
+            for _ in range(self.max_backtracks):
+                candidate = mani.retract(x, step * direction)
+                new_cost = problem.cost(candidate)
+                if new_cost <= cost + self.armijo_c * step * slope:
+                    accepted = True
+                    break
+                step *= self.backtrack
+            if not accepted:
+                return OptimizeResult(
+                    x, cost, gnorm, it, False, "line search failed (stationary?)"
+                )
+            x, cost = candidate, new_cost
+            step = min(step / self.backtrack, 1e6)  # gentle growth for next iter
+
+        grad = problem.rgrad(x)
+        return OptimizeResult(
+            x, cost, mani.norm(grad), self.max_iter, False, "max iterations"
+        )

@@ -1,0 +1,26 @@
+"""Shared result record for the Riemannian solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OptimizeResult"]
+
+
+@dataclass
+class OptimizeResult:
+    point: np.ndarray
+    cost: float
+    grad_norm: float
+    iterations: int
+    converged: bool
+    message: str = ""
+
+    def __str__(self) -> str:
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"OptimizeResult({status} in {self.iterations} iters, "
+            f"cost={self.cost:.6e}, |grad|={self.grad_norm:.2e}; {self.message})"
+        )

@@ -1,0 +1,143 @@
+"""Riemannian trust-region method with truncated-CG subproblem solver.
+
+The algorithm of Absil, Baker & Gallivan (2007) — the method behind
+Manopt's ``trustregions`` solver that the paper uses for its
+Burer–Monteiro Max-Cut baseline:
+
+1. At each outer iteration, approximately minimise the quadratic model
+   ``m(ξ) = f(x) + ⟨g, ξ⟩ + ½⟨H ξ, ξ⟩`` inside a trust region ‖ξ‖ ≤ Δ
+   with the Steihaug–Toint truncated conjugate gradient (tCG): stop at the
+   boundary, on negative curvature, or on the superlinear κ/θ residual rule.
+2. Accept/reject the step by the actual-vs-predicted reduction ratio ρ and
+   adapt Δ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.manifolds.problem import ManifoldProblem
+from repro.manifolds.result import OptimizeResult
+
+__all__ = ["RiemannianTrustRegion"]
+
+
+class RiemannianTrustRegion:
+    def __init__(
+        self,
+        max_iter: int = 200,
+        grad_tol: float = 1e-6,
+        delta_bar: float | None = None,
+        delta0: float | None = None,
+        rho_prime: float = 0.1,
+        kappa: float = 0.1,
+        theta: float = 1.0,
+        max_inner: int | None = None,
+    ):
+        self.max_iter = max_iter
+        self.grad_tol = grad_tol
+        self.delta_bar = delta_bar
+        self.delta0 = delta0
+        self.rho_prime = rho_prime
+        self.kappa = kappa
+        self.theta = theta
+        self.max_inner = max_inner
+
+    # -- truncated CG (Steihaug–Toint) ------------------------------------------------
+
+    def _truncated_cg(
+        self, problem: ManifoldProblem, x: np.ndarray, grad: np.ndarray, delta: float
+    ) -> tuple[np.ndarray, str]:
+        mani = problem.manifold
+        eta = np.zeros_like(grad)
+        r = grad.copy()
+        d = -r
+        r_r = mani.inner(r, r)
+        norm_r0 = np.sqrt(r_r)
+        max_inner = self.max_inner or max(20, getattr(mani, "dim", grad.size))
+
+        for _ in range(max_inner):
+            hd = problem.rhess(x, d)
+            d_hd = mani.inner(d, hd)
+            if d_hd <= 0:
+                # Negative curvature: go to the boundary along d.
+                tau = _to_boundary(mani, eta, d, delta)
+                return eta + tau * d, "negative curvature"
+            alpha = r_r / d_hd
+            eta_next = eta + alpha * d
+            if mani.norm(eta_next) >= delta:
+                tau = _to_boundary(mani, eta, d, delta)
+                return eta + tau * d, "exceeded trust region"
+            eta = eta_next
+            r = r + alpha * hd
+            r_r_next = mani.inner(r, r)
+            if np.sqrt(r_r_next) <= norm_r0 * min(
+                self.kappa, norm_r0**self.theta
+            ):
+                return eta, "residual tolerance"
+            beta = r_r_next / r_r
+            d = -r + beta * d
+            r_r = r_r_next
+        return eta, "max inner iterations"
+
+    # -- outer loop --------------------------------------------------------------------
+
+    def solve(
+        self,
+        problem: ManifoldProblem,
+        x0: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> OptimizeResult:
+        mani = problem.manifold
+        if x0 is None:
+            if rng is None:
+                raise ValueError("either x0 or rng must be given")
+            x0 = mani.random_point(rng)
+        x = np.array(x0, copy=True)
+        cost = problem.cost(x)
+
+        # Default trust-region radii scale with the manifold "size".
+        delta_bar = self.delta_bar or np.sqrt(getattr(mani, "dim", x.size))
+        delta = self.delta0 or delta_bar / 8.0
+
+        for it in range(1, self.max_iter + 1):
+            grad = problem.rgrad(x)
+            gnorm = mani.norm(grad)
+            if gnorm <= self.grad_tol:
+                return OptimizeResult(x, cost, gnorm, it - 1, True, "gradient tolerance")
+
+            eta, stop_reason = self._truncated_cg(problem, x, grad, delta)
+            candidate = mani.retract(x, eta)
+            new_cost = problem.cost(candidate)
+            model_decrease = -(
+                mani.inner(grad, eta) + 0.5 * mani.inner(problem.rhess(x, eta), eta)
+            )
+            actual_decrease = cost - new_cost
+            # Regularised rho (Manopt's guard against 0/0 noise).
+            reg = 1e-12 * max(1.0, abs(cost))
+            rho = (actual_decrease + reg) / (model_decrease + reg)
+
+            if rho < 0.25:
+                delta *= 0.25
+            elif rho > 0.75 and stop_reason in ("exceeded trust region", "negative curvature"):
+                delta = min(2.0 * delta, delta_bar)
+            if rho > self.rho_prime and actual_decrease > -reg:
+                x, cost = candidate, new_cost
+            if delta < 1e-14:
+                return OptimizeResult(
+                    x, cost, gnorm, it, False, "trust region collapsed"
+                )
+
+        grad = problem.rgrad(x)
+        return OptimizeResult(
+            x, cost, mani.norm(grad), self.max_iter, False, "max iterations"
+        )
+
+
+def _to_boundary(mani, eta: np.ndarray, d: np.ndarray, delta: float) -> float:
+    """Positive τ with ‖η + τ d‖ = Δ (quadratic formula)."""
+    a = mani.inner(d, d)
+    b = 2.0 * mani.inner(eta, d)
+    c = mani.inner(eta, eta) - delta**2
+    disc = max(b * b - 4 * a * c, 0.0)
+    return (-b + np.sqrt(disc)) / (2 * a)

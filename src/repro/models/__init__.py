@@ -1,0 +1,16 @@
+"""Wavefunction ansätze.
+
+- :class:`MADE` — normalised autoregressive wavefunction (exact sampling).
+- :class:`RBM`  — restricted-Boltzmann-machine wavefunction (needs MCMC).
+
+Both expose the :class:`WaveFunction` interface used by the samplers, the
+local-energy engine and stochastic reconfiguration.
+"""
+
+from repro.models.base import WaveFunction
+from repro.models.made import MADE
+from repro.models.rbm import RBM
+from repro.models.mean_field import MeanField
+from repro.models.rnn import RNNWaveFunction
+
+__all__ = ["WaveFunction", "MADE", "RBM", "MeanField", "RNNWaveFunction"]

@@ -1,0 +1,33 @@
+"""Activation modules (thin wrappers over the functional API)."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+__all__ = ["ReLU", "Sigmoid", "Tanh", "LogSigmoid", "Softplus"]
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class LogSigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.log_sigmoid()
+
+
+class Softplus(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.softplus()

@@ -1,0 +1,95 @@
+"""Fully-connected layers: plain (``FC``) and masked (``MaskedFC``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+__all__ = ["Linear", "MaskedLinear"]
+
+
+class Linear(Module):
+    """``y = x @ W.T + b`` — the paper's ``FC_{a,b}``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Layer dimensions (``a`` and ``b`` in the paper's notation).
+    bias:
+        Include an additive bias term.
+    rng:
+        Generator used for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        weight_std: float | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        if weight_std is not None:
+            w = init.normal(rng, (out_features, in_features), std=weight_std)
+        else:
+            w = init.kaiming_uniform(rng, out_features, in_features)
+        self.weight = Parameter(w, name="weight")
+        if bias:
+            self.bias: Parameter | None = Parameter(
+                init.uniform_bias(rng, out_features, in_features), name="bias"
+            )
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class MaskedLinear(Linear):
+    """Linear layer with a fixed binary connectivity mask (``MaskedFC``).
+
+    The mask is a constant buffer, not a parameter: masked-out weights never
+    receive gradient and never contribute to the forward pass, enforcing the
+    autoregressive property of MADE structurally.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        mask: np.ndarray,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(in_features, out_features, bias=bias, rng=rng)
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != (out_features, in_features):
+            raise ValueError(
+                f"mask shape {mask.shape} != weight shape {(out_features, in_features)}"
+            )
+        self.mask = mask
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.masked_linear(x, self.weight, self.mask, self.bias)
+
+    def effective_weight(self) -> np.ndarray:
+        """The masked weight matrix actually applied in the forward pass."""
+        return self.weight.data * self.mask
+
+    def __repr__(self) -> str:
+        live = int(self.mask.sum())
+        return (
+            f"MaskedLinear({self.in_features}, {self.out_features}, "
+            f"live_weights={live}/{self.mask.size})"
+        )

@@ -1,0 +1,53 @@
+"""Sequential module container."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.nn.module import Module
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order.
+
+    Children register under their index, so ``named_parameters`` yields
+    deterministic ``"0.weight"``-style names.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.nn import Linear, ReLU, Sequential
+    >>> rng = np.random.default_rng(0)
+    >>> net = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+    >>> len(net)
+    3
+    """
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        for i, module in enumerate(modules):
+            if not isinstance(module, Module):
+                raise TypeError(
+                    f"Sequential expects Module instances, got "
+                    f"{type(module).__name__} at position {i}"
+                )
+            setattr(self, str(i), module)
+        self._length = len(modules)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int) -> Module:
+        if not -self._length <= index < self._length:
+            raise IndexError(f"index {index} out of range for {self._length} modules")
+        return getattr(self, str(index % self._length))
+
+    def __iter__(self) -> Iterator[Module]:
+        return (self[i] for i in range(self._length))
+
+    def forward(self, x):
+        for module in self:
+            x = module(x)
+        return x

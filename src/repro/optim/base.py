@@ -1,0 +1,39 @@
+"""Optimiser base class (reads ``.grad`` buffers, updates ``.data`` in place)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class over a flat list of parameters.
+
+    Subclasses implement :meth:`step`, which must treat ``p.grad is None``
+    as a zero gradient (a parameter untouched by the current graph).
+    """
+
+    def __init__(self, params: Sequence[Parameter], lr: float):
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = params
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = state["lr"]

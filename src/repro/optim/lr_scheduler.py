@@ -1,0 +1,67 @@
+"""Learning-rate schedules.
+
+The paper applies no scheduler ("No learning rate scheduler is applied",
+§5.1); :class:`ConstantLR` is the faithful default. Step and cosine
+schedules are provided as the natural extension knobs for the ablation
+benches.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.base import Optimizer
+
+__all__ = ["ConstantLR", "StepLR", "CosineAnnealingLR"]
+
+
+class _Scheduler:
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+
+class ConstantLR(_Scheduler):
+    """No-op schedule (the paper's setting)."""
+
+    def get_lr(self) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Multiply lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from base lr to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        frac = min(self.epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * frac)
+        )

@@ -1,0 +1,84 @@
+"""RMSprop and AdaGrad — additional first-order optimisers.
+
+Not used in the paper's tables but common in the NQS literature; provided
+for the ablation harnesses and downstream users, with reference-checked
+update rules.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer
+
+__all__ = ["RMSprop", "AdaGrad"]
+
+
+class RMSprop(Optimizer):
+    """``v ← α v + (1−α) g²;  θ ← θ − lr · g / (√v + ε)``."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.01,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        self.alpha = alpha
+        self.eps = eps
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._v):
+            if p.grad is None:
+                continue
+            v *= self.alpha
+            v += (1.0 - self.alpha) * p.grad**2
+            p.data -= self.lr * p.grad / (np.sqrt(v) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "alpha": self.alpha,
+            "eps": self.eps,
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = state["lr"]
+        self.alpha = state["alpha"]
+        self.eps = state["eps"]
+        self._v = [v.copy() for v in state["v"]]
+
+
+class AdaGrad(Optimizer):
+    """``G ← G + g²;  θ ← θ − lr · g / (√G + ε)`` — monotone per-coordinate
+    step decay."""
+
+    def __init__(
+        self, params: Sequence[Parameter], lr: float = 0.1, eps: float = 1e-10
+    ):
+        super().__init__(params, lr)
+        self.eps = eps
+        self._g2 = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, g2 in zip(self.params, self._g2):
+            if p.grad is None:
+                continue
+            g2 += p.grad**2
+            p.data -= self.lr * p.grad / (np.sqrt(g2) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {"lr": self.lr, "eps": self.eps, "g2": [g.copy() for g in self._g2]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = state["lr"]
+        self.eps = state["eps"]
+        self._g2 = [g.copy() for g in state["g2"]]

@@ -1,0 +1,56 @@
+"""Stochastic gradient descent with optional classical momentum."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """``θ ← θ - lr · g`` (paper default lr for SGD: 0.1)."""
+
+    def __init__(
+        self, params: Sequence[Parameter], lr: float = 0.1, momentum: float = 0.0
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self) -> None:
+        if self.momentum == 0.0:
+            for p in self.params:
+                if p.grad is not None:
+                    p.data -= self.lr * p.grad
+            return
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p.data) for p in self.params]
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            v *= self.momentum
+            v += p.grad
+            p.data -= self.lr * v
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "velocity": None
+            if self._velocity is None
+            else [v.copy() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = state["lr"]
+        self.momentum = state["momentum"]
+        self._velocity = (
+            None if state["velocity"] is None else [v.copy() for v in state["velocity"]]
+        )

@@ -1,0 +1,47 @@
+"""Sampler interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.base import WaveFunction
+
+__all__ = ["Sampler", "SamplerStats"]
+
+
+@dataclass
+class SamplerStats:
+    """Bookkeeping from the most recent :meth:`Sampler.sample` call.
+
+    ``forward_passes`` counts network evaluations, the quantity the paper's
+    Figure 1 compares (``k + bs/c`` for MCMC vs ``n`` for AUTO); it is what
+    the cluster cost model consumes.
+    """
+
+    forward_passes: int = 0
+    proposals: int = 0
+    accepted: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.proposals if self.proposals else float("nan")
+
+
+class Sampler:
+    """Base class: draws a batch of configurations from ``πθ ∝ ψθ²``."""
+
+    #: whether the samples are exact draws from πθ (True) or asymptotic (False)
+    exact: bool = False
+
+    def sample(
+        self, model: WaveFunction, batch_size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return an ``(batch_size, n)`` array of configurations."""
+        raise NotImplementedError
+
+    @property
+    def last_stats(self) -> SamplerStats:
+        return getattr(self, "_stats", SamplerStats())

@@ -1,0 +1,198 @@
+"""Random-walk Metropolis–Hastings sampling of ``|ψθ|²`` (paper §2.2, §5.1).
+
+The proposal flips one uniformly-chosen bit (the standard random-walk move
+for spin systems); acceptance probability is
+
+    A(x → x') = min(1, πθ(x')/πθ(x)) = min(1, exp(2 (log ψ(x') - log ψ(x)))) ,
+
+which is symmetric-proposal Metropolis, hence satisfies detailed balance
+w.r.t. πθ. Multiple chains run batched — each MH step is a single network
+forward over all chains, exactly how a GPU implementation would batch it.
+
+The paper's default scheme (§5.1): 2 chains, burn-in ``k = 3n + 100`` steps
+per chain, no thinning; §6.2's ablations vary ``k`` (Scheme 1) and the
+thinning stride (Scheme 2), both expressible here via ``burn_in``/``thin``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.models.base import WaveFunction
+from repro.samplers.base import Sampler, SamplerStats
+from repro.tensor.tensor import no_grad
+
+__all__ = ["MetropolisSampler", "default_burn_in"]
+
+
+def default_burn_in(n: int) -> int:
+    """The paper's heuristic burn-in: ``k = 3n + 100`` (§5.1)."""
+    return 3 * n + 100
+
+
+class MetropolisSampler(Sampler):
+    """Multi-chain random-walk Metropolis–Hastings sampler.
+
+    Parameters
+    ----------
+    n_chains:
+        Number of independent chains (paper default: 2).
+    burn_in:
+        Steps discarded per chain before collection; an int, or a callable
+        ``n -> k`` (default: the paper's ``3n + 100``).
+    thin:
+        Collect every ``thin``-th post-burn-in state (paper default 1;
+        §6.2 Scheme 2 uses 2/5/10).
+    persistent:
+        If True, chains keep their state across :meth:`sample` calls and
+        burn-in is only paid on the first call. The paper's cost model
+        re-burns every iteration (Fig. 1), so the default is False.
+    proposal:
+        Move type: ``'flip'`` (one uniformly chosen bit — the paper's move),
+        ``'multi_flip'`` (``flips`` independent bits per proposal; larger
+        steps, lower acceptance) or ``'exchange'`` (swap the values of two
+        random sites — preserves total magnetisation, the standard move for
+        particle-number-conserving sectors). All are symmetric proposals, so
+        the Metropolis ratio is unchanged.
+    """
+
+    exact = False
+
+    def __init__(
+        self,
+        n_chains: int = 2,
+        burn_in: int | Callable[[int], int] | None = None,
+        thin: int = 1,
+        persistent: bool = False,
+        proposal: str = "flip",
+        flips: int = 2,
+    ):
+        if n_chains < 1:
+            raise ValueError(f"need at least one chain, got {n_chains}")
+        if thin < 1:
+            raise ValueError(f"thin must be >= 1, got {thin}")
+        if proposal not in ("flip", "multi_flip", "exchange"):
+            raise ValueError(f"unknown proposal {proposal!r}")
+        if proposal == "multi_flip" and flips < 1:
+            raise ValueError(f"flips must be >= 1, got {flips}")
+        self.n_chains = n_chains
+        self._burn_in = burn_in if burn_in is not None else default_burn_in
+        self.thin = thin
+        self.persistent = persistent
+        self.proposal = proposal
+        self.flips = flips
+        self._state: np.ndarray | None = None
+        self._log_psi: np.ndarray | None = None
+
+    def burn_in_steps(self, n: int) -> int:
+        k = self._burn_in(n) if callable(self._burn_in) else int(self._burn_in)
+        if k < 0:
+            raise ValueError(f"negative burn-in {k}")
+        return k
+
+    def reset(self) -> None:
+        """Forget persistent chain state."""
+        self._state = None
+        self._log_psi = None
+
+    # -- single MH sweep over all chains ------------------------------------------
+
+    def _propose(self, chains: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+        c = chains.shape[0]
+        proposal = chains.copy()
+        if self.proposal == "flip":
+            sites = rng.integers(0, n, size=c)
+            proposal[np.arange(c), sites] = 1.0 - proposal[np.arange(c), sites]
+        elif self.proposal == "multi_flip":
+            for _ in range(self.flips):
+                sites = rng.integers(0, n, size=c)
+                proposal[np.arange(c), sites] = 1.0 - proposal[np.arange(c), sites]
+        else:  # exchange
+            i = rng.integers(0, n, size=c)
+            j = rng.integers(0, n, size=c)
+            rows = np.arange(c)
+            proposal[rows, i], proposal[rows, j] = (
+                proposal[rows, j].copy(),
+                proposal[rows, i].copy(),
+            )
+        return proposal
+
+    def _step(
+        self, model: WaveFunction, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        """One MH step on every chain (batched). Returns (#accepted, #proposed)."""
+        assert self._state is not None and self._log_psi is not None
+        chains = self._state
+        c = chains.shape[0]
+        proposal = self._propose(chains, model.n, rng)
+        with no_grad():
+            lp_new = model.log_psi(proposal).data
+        log_ratio = 2.0 * (lp_new - self._log_psi)
+        accept = np.log(rng.random(c)) < log_ratio
+        chains[accept] = proposal[accept]
+        self._log_psi[accept] = lp_new[accept]
+        return int(accept.sum()), c
+
+    def sample(
+        self, model: WaveFunction, batch_size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        n = model.n
+        c = self.n_chains
+        stats = SamplerStats()
+
+        need_burn = True
+        if self.persistent and self._state is not None:
+            if self._state.shape != (c, n):
+                raise ValueError(
+                    f"persistent state shape {self._state.shape} does not match "
+                    f"(n_chains={c}, n={n}); call reset() when switching models"
+                )
+            need_burn = False
+        if self._state is None or not self.persistent:
+            self._state = (rng.random((c, n)) < 0.5).astype(np.float64)
+            with no_grad():
+                self._log_psi = model.log_psi(self._state).data.copy()
+            stats.forward_passes += 1
+
+        if need_burn:
+            k = self.burn_in_steps(n)
+            for _ in range(k):
+                acc, prop = self._step(model, rng)
+                stats.accepted += acc
+                stats.proposals += prop
+                stats.forward_passes += 1
+
+        # Collection: one sample per chain per retained step, round-robin, so
+        # a batch needs ceil(batch_size / c) retained states per chain and
+        # thin * that many MH steps.
+        collected: list[np.ndarray] = []
+        total = 0
+        while total < batch_size:
+            for _ in range(self.thin):
+                acc, prop = self._step(model, rng)
+                stats.accepted += acc
+                stats.proposals += prop
+                stats.forward_passes += 1
+            take = min(c, batch_size - total)
+            collected.append(self._state[:take].copy())
+            total += take
+
+        if not self.persistent:
+            self._state = None
+            self._log_psi = None
+
+        self._stats = stats
+        return np.concatenate(collected, axis=0)
+
+    # -- cost model hook -------------------------------------------------------------
+
+    def predicted_forward_passes(self, n: int, batch_size: int) -> int:
+        """Fig. 1's ``k + thin·bs/c`` cost (plus the init pass)."""
+        k = self.burn_in_steps(n)
+        import math
+
+        return 1 + k + self.thin * math.ceil(batch_size / self.n_chains)

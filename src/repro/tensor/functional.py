@@ -1,0 +1,151 @@
+"""Functional interface over :class:`repro.tensor.Tensor`.
+
+Mirrors the small slice of ``torch.nn.functional`` the paper's models need,
+so model code reads like the architectures in §5.1 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import (
+    Tensor,
+    concatenate,
+    maximum,
+    minimum,
+    stack,
+    where,
+)
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "log_sigmoid",
+    "softplus",
+    "tanh",
+    "exp",
+    "log",
+    "sqrt",
+    "log_cosh",
+    "log1p",
+    "expm1",
+    "sin",
+    "cos",
+    "clip",
+    "logsumexp",
+    "softmax",
+    "linear",
+    "masked_linear",
+    "bernoulli_log_prob",
+    "concatenate",
+    "stack",
+    "where",
+    "minimum",
+    "maximum",
+    "as_tensor",
+]
+
+
+def as_tensor(x, requires_grad: bool = False) -> Tensor:
+    """Coerce array-like input into a :class:`Tensor`."""
+    return x if isinstance(x, Tensor) else Tensor(x, requires_grad=requires_grad)
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def log_sigmoid(x: Tensor) -> Tensor:
+    return x.log_sigmoid()
+
+
+def softplus(x: Tensor) -> Tensor:
+    return x.softplus()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def exp(x: Tensor) -> Tensor:
+    return x.exp()
+
+
+def log(x: Tensor) -> Tensor:
+    return x.log()
+
+
+def sqrt(x: Tensor) -> Tensor:
+    return x.sqrt()
+
+
+def log_cosh(x: Tensor) -> Tensor:
+    return x.log_cosh()
+
+
+def log1p(x: Tensor) -> Tensor:
+    return x.log1p()
+
+
+def expm1(x: Tensor) -> Tensor:
+    return x.expm1()
+
+
+def sin(x: Tensor) -> Tensor:
+    return x.sin()
+
+
+def cos(x: Tensor) -> Tensor:
+    return x.cos()
+
+
+def clip(x: Tensor, low: float | None = None, high: float | None = None) -> Tensor:
+    return x.clip(low, high)
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    return x.logsumexp(axis=axis, keepdims=keepdims)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.softmax(axis=axis)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """``x @ W.T + b`` with ``x: (batch, in)``, ``W: (out, in)``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def masked_linear(
+    x: Tensor, weight: Tensor, mask: np.ndarray, bias: Tensor | None = None
+) -> Tensor:
+    """Linear layer with a fixed binary connectivity mask on the weights.
+
+    This is the ``MaskedFC`` of the paper's MADE: the mask is a constant, so
+    the gradient w.r.t. the weight is masked automatically by the product
+    rule — masked-out entries stay at exactly zero gradient.
+    """
+    masked_w = weight * Tensor(mask)
+    out = x @ masked_w.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def bernoulli_log_prob(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Log-probability of binary ``targets`` under independent Bernoullis.
+
+    ``log p = t * log σ(z) + (1-t) * log σ(-z)``, computed with the stable
+    ``log_sigmoid`` so extreme logits never produce ``log(0)``. Returns the
+    elementwise log-probabilities (caller reduces over the site axis).
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    t = Tensor(targets)
+    return t * logits.log_sigmoid() + (1.0 - t) * (-logits).log_sigmoid()

@@ -1,0 +1,72 @@
+"""Computation-graph inspection utilities.
+
+Debugging aids for the autograd engine: walk the backward graph of a
+tensor, count its nodes, and dump it as Graphviz-DOT text (render with any
+dot viewer; no graphviz dependency needed to *produce* the text).
+"""
+
+from __future__ import annotations
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["graph_nodes", "graph_size", "to_dot"]
+
+
+def graph_nodes(root: Tensor) -> list[Tensor]:
+    """All tensors reachable backwards from ``root`` (topological order,
+    inputs first)."""
+    topo: list[Tensor] = []
+    seen: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            topo.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for p in node._parents:
+            if id(p) not in seen:
+                stack.append((p, False))
+    return topo
+
+
+def graph_size(root: Tensor) -> int:
+    """Number of tensors in the backward graph (leaves included)."""
+    return len(graph_nodes(root))
+
+
+def to_dot(root: Tensor, max_nodes: int = 500) -> str:
+    """Graphviz-DOT text of the backward graph.
+
+    Leaves (no parents) render as boxes — parameters are shaded; op outputs
+    render as ellipses labelled with their shape. Raises if the graph
+    exceeds ``max_nodes`` (dump a smaller expression instead).
+    """
+    nodes = graph_nodes(root)
+    if len(nodes) > max_nodes:
+        raise ValueError(
+            f"graph has {len(nodes)} nodes (> {max_nodes}); "
+            "dump a smaller expression"
+        )
+    ids = {id(t): f"t{i}" for i, t in enumerate(nodes)}
+    lines = ["digraph autograd {", "  rankdir=LR;"]
+    for t in nodes:
+        name = ids[id(t)]
+        label = t.name or f"{tuple(t.shape)}"
+        if not t._parents:
+            style = (
+                'shape=box, style=filled, fillcolor="#cfe2ff"'
+                if t.requires_grad
+                else "shape=box"
+            )
+            lines.append(f'  {name} [{style}, label="{label}"];')
+        else:
+            lines.append(f'  {name} [shape=ellipse, label="{label}"];')
+    for t in nodes:
+        for p in t._parents:
+            lines.append(f"  {ids[id(p)]} -> {ids[id(t)]};")
+    lines.append("}")
+    return "\n".join(lines)

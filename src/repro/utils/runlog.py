@@ -1,0 +1,103 @@
+"""Structured run logging (JSONL) for experiment bookkeeping.
+
+Each training run appends one JSON object per step plus a header/footer —
+the format the benchmark harnesses parse to build EXPERIMENTS.md tables,
+and a sane default for users running sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = ["RunLogger"]
+
+
+class RunLogger:
+    """Callback writing one JSON line per training step.
+
+    Parameters
+    ----------
+    path:
+        Output ``.jsonl`` file (parent directories are created).
+    meta:
+        Arbitrary JSON-serialisable metadata recorded in the header line
+        (instance seed, architecture, batch size, ...).
+    """
+
+    def __init__(self, path: str | Path, meta: dict[str, Any] | None = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.meta = dict(meta or {})
+        self._fh = None
+        self._start = 0.0
+
+    # -- callback protocol ---------------------------------------------------------
+
+    def on_run_begin(self, vqmc) -> None:
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._start = time.time()
+        header = {
+            "event": "run_begin",
+            "time": self._start,
+            "python": platform.python_version(),
+            "model": type(vqmc.model).__name__,
+            "hamiltonian": type(vqmc.hamiltonian).__name__,
+            "sampler": type(vqmc.sampler).__name__,
+            "optimizer": type(vqmc.optimizer).__name__,
+            "n": vqmc.model.n,
+            "num_parameters": vqmc.model.num_parameters(),
+            "sr": vqmc.sr is not None,
+            **self.meta,
+        }
+        self._write(header)
+
+    def on_step(self, step: int, result) -> None:
+        self._write(
+            {
+                "event": "step",
+                "step": step,
+                "energy": result.stats.mean,
+                "std": result.stats.std,
+                "sem": result.stats.sem,
+                "grad_norm": result.grad_norm,
+                "step_time": result.step_time,
+                "acceptance": None
+                if result.acceptance != result.acceptance  # NaN
+                else result.acceptance,
+            }
+        )
+
+    def on_run_end(self, vqmc) -> None:
+        self._write(
+            {
+                "event": "run_end",
+                "time": time.time(),
+                "elapsed": time.time() - self._start,
+                "global_step": vqmc.global_step,
+            }
+        )
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _write(self, record: dict) -> None:
+        assert self._fh is not None, "logger used outside a run"
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    @staticmethod
+    def read(path: str | Path) -> list[dict]:
+        """Parse a JSONL run log back into a list of records."""
+        records = []
+        with Path(path).open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records

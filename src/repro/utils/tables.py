@@ -1,0 +1,53 @@
+"""Plain-text table formatting for benchmark harness output.
+
+Every benchmark prints its table in the same row/column layout as the paper;
+this module provides the shared renderer so the harnesses stay tiny.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_cell"]
+
+
+def format_cell(value: Any, precision: int = 2) -> str:
+    """Render a single table cell: floats get fixed precision, pairs get ±."""
+    if value is None:
+        return "-"
+    if isinstance(value, tuple) and len(value) == 2:
+        mean, std = value
+        return f"{mean:.{precision}f} ± {std:.{precision}f}"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render rows as an aligned, pipe-separated plain-text table."""
+    rendered = [[format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in rendered)
+    return "\n".join(lines)

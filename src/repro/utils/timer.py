@@ -1,0 +1,74 @@
+"""Lightweight timing helpers used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "WallClock"]
+
+
+class Timer:
+    """Context manager measuring wall-clock time of a block.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class WallClock:
+    """Accumulating named stopwatch (total seconds per label)."""
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def measure(self, label: str) -> "_Section":
+        return _Section(self, label)
+
+    def add(self, label: str, seconds: float) -> None:
+        self.totals[label] = self.totals.get(label, 0.0) + seconds
+        self.counts[label] = self.counts.get(label, 0) + 1
+
+    def mean(self, label: str) -> float:
+        return self.totals[label] / max(1, self.counts.get(label, 0))
+
+    def summary(self) -> str:
+        lines = []
+        for label in sorted(self.totals):
+            lines.append(
+                f"{label:<28s} total={self.totals[label]:10.4f}s "
+                f"calls={self.counts[label]:6d} mean={self.mean(label):10.6f}s"
+            )
+        return "\n".join(lines)
+
+
+class _Section:
+    def __init__(self, clock: WallClock, label: str):
+        self._clock = clock
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._clock.add(self._label, time.perf_counter() - self._start)

@@ -1,0 +1,161 @@
+"""Install self-check: a fast end-to-end validation battery.
+
+``python -m repro selfcheck`` runs one probe per subsystem — autograd vs
+finite differences, MADE normalisation, sampler exactness, collective
+correctness, GW approximation ratio, a micro VQMC convergence run — and
+prints a pass/fail report. Designed to finish in a few seconds; it is a
+smoke test for installs and ports, not a substitute for the pytest suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["CheckResult", "run_selfcheck", "CHECKS"]
+
+
+@dataclass
+class CheckResult:
+    name: str
+    passed: bool
+    seconds: float
+    detail: str = ""
+
+
+def _check_autograd() -> str:
+    from repro.tensor import Tensor, gradcheck
+
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(3, 4))
+    b = rng.normal(size=(4, 2))
+    gradcheck(lambda x, y: (x @ y).tanh().log_cosh(), [a, b])
+    return "matmul→tanh→log_cosh gradient matches finite differences"
+
+
+def _check_made_normalisation() -> str:
+    from repro.models import MADE
+
+    model = MADE(6, hidden=10, rng=np.random.default_rng(1))
+    total = model.exact_distribution().sum()
+    assert abs(total - 1.0) < 1e-9, f"Σπ = {total}"
+    return f"Σ_x πθ(x) = {total:.12f}"
+
+
+def _check_sampler_exactness() -> str:
+    from repro.models import MADE
+    from repro.samplers import AutoregressiveSampler
+    from repro.samplers.diagnostics import total_variation_distance
+
+    model = MADE(4, hidden=8, rng=np.random.default_rng(2))
+    x = AutoregressiveSampler().sample(model, 8000, np.random.default_rng(3))
+    codes = (x @ (2 ** np.arange(3, -1, -1))).astype(int)
+    tv = total_variation_distance(codes, model.exact_distribution())
+    assert tv < 0.06, f"TV = {tv}"
+    return f"AUTO sampler TV distance = {tv:.4f}"
+
+
+def _check_local_energy() -> str:
+    from repro.core.energy import local_energies
+    from repro.hamiltonians import TransverseFieldIsing
+    from repro.models import MADE
+    from repro.tensor.tensor import no_grad
+
+    ham = TransverseFieldIsing.random(5, seed=4)
+    model = MADE(5, hidden=6, rng=np.random.default_rng(5))
+    states = ((np.arange(32)[:, None] >> np.arange(4, -1, -1)) & 1).astype(float)
+    with no_grad():
+        psi = np.exp(model.log_psi(states).data)
+    expect = (ham.to_dense() @ psi) / psi
+    got = local_energies(model, ham, states)
+    err = float(np.max(np.abs(got - expect)))
+    assert err < 1e-8, f"max err {err}"
+    return f"local energies match dense matvec (max err {err:.1e})"
+
+
+def _check_collectives() -> str:
+    from repro.distributed import run_threaded
+
+    def worker(comm, rank):
+        return comm.allreduce(np.arange(5.0) * (rank + 1))
+
+    results = run_threaded(worker, 4)
+    expect = np.arange(5.0) * 10
+    assert all(np.allclose(r, expect) for r in results)
+    return "4-rank ring allreduce correct"
+
+
+def _check_baselines() -> str:
+    from repro.baselines import GoemansWilliamson
+    from repro.exact import brute_force_max_cut
+    from repro.hamiltonians import bernoulli_adjacency
+
+    w = bernoulli_adjacency(12, seed=6)
+    opt, _ = brute_force_max_cut(w)
+    gw = GoemansWilliamson(rounds=30).solve(w, seed=0).value
+    assert gw >= 0.878 * opt - 1e-9, f"GW ratio {gw/opt:.3f}"
+    return f"GW ratio = {gw / opt:.3f} (≥ 0.878 required)"
+
+
+def _check_vqmc_convergence() -> str:
+    from repro.core import VQMC
+    from repro.exact import ground_state
+    from repro.hamiltonians import TransverseFieldIsing
+    from repro.models import MADE
+    from repro.optim import SGD, StochasticReconfiguration
+    from repro.samplers import AutoregressiveSampler
+
+    ham = TransverseFieldIsing.random(6, seed=7)
+    model = MADE(6, hidden=10, rng=np.random.default_rng(8))
+    vqmc = VQMC(
+        model, ham, AutoregressiveSampler(),
+        SGD(model.parameters(), lr=0.1),
+        sr=StochasticReconfiguration(), seed=9,
+    )
+    vqmc.run(80, batch_size=256)
+    exact = ground_state(ham).energy
+    final = vqmc.evaluate(512).mean
+    rel = abs(final - exact) / abs(exact)
+    assert rel < 0.05, f"relative error {rel:.3f}"
+    return f"VQMC+SR reaches exact ground state within {rel:.2%}"
+
+
+CHECKS: dict[str, Callable[[], str]] = {
+    "autograd": _check_autograd,
+    "made-normalisation": _check_made_normalisation,
+    "exact-sampling": _check_sampler_exactness,
+    "local-energy": _check_local_energy,
+    "collectives": _check_collectives,
+    "baselines": _check_baselines,
+    "vqmc-convergence": _check_vqmc_convergence,
+}
+
+
+def run_selfcheck(verbose: bool = True) -> list[CheckResult]:
+    """Run the battery; returns per-check results (printing if verbose)."""
+    results = []
+    for name, fn in CHECKS.items():
+        start = time.perf_counter()
+        try:
+            detail = fn()
+            passed = True
+        except BaseException as exc:  # noqa: BLE001 — reported, not raised
+            detail = f"{type(exc).__name__}: {exc}"
+            passed = False
+        res = CheckResult(
+            name=name,
+            passed=passed,
+            seconds=time.perf_counter() - start,
+            detail=detail,
+        )
+        results.append(res)
+        if verbose:
+            mark = "PASS" if res.passed else "FAIL"
+            print(f"[{mark}] {name:<20s} ({res.seconds:5.2f}s) {res.detail}")
+    if verbose:
+        n_ok = sum(r.passed for r in results)
+        print(f"\n{n_ok}/{len(results)} checks passed")
+    return results

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hamiltonians import MaxCut, TransverseFieldIsing
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_tim() -> TransverseFieldIsing:
+    """A 6-site disordered TIM instance (exactly diagonalisable)."""
+    return TransverseFieldIsing.random(6, seed=99)
+
+
+@pytest.fixture
+def small_maxcut() -> MaxCut:
+    """A 8-vertex random Max-Cut instance (brute-forceable)."""
+    return MaxCut.random(8, seed=7)
+
+
+def enumerate_states(n: int) -> np.ndarray:
+    """All 2^n bit configurations, big-endian, as a (2^n, n) float array."""
+    return (
+        (np.arange(2**n)[:, None] >> np.arange(n - 1, -1, -1)) & 1
+    ).astype(np.float64)

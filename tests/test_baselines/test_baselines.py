@@ -1,0 +1,137 @@
+"""Classical Max-Cut baselines: approximation guarantees and orderings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BurerMonteiro,
+    GoemansWilliamson,
+    one_opt_local_search,
+    random_cut,
+)
+from repro.baselines.result import CutResult, cut_of_partition
+from repro.exact import brute_force_max_cut
+from repro.hamiltonians import bernoulli_adjacency
+
+
+@pytest.fixture
+def graph():
+    return bernoulli_adjacency(14, seed=3)
+
+
+class TestCutOfPartition:
+    def test_matches_hamiltonian(self, graph, rng):
+        from repro.hamiltonians import MaxCut
+
+        mc = MaxCut(graph)
+        x = (rng.random((6, 14)) < 0.5).astype(float)
+        for row in x:
+            assert cut_of_partition(graph, row) == pytest.approx(
+                mc.cut_value(row[None])[0]
+            )
+
+    def test_complement_partition_same_cut(self, graph, rng):
+        bits = (rng.random(14) < 0.5).astype(float)
+        assert cut_of_partition(graph, bits) == cut_of_partition(graph, 1.0 - bits)
+
+
+class TestRandomCut:
+    def test_expectation_is_half_total(self, graph):
+        """E[random cut] = |E|/2 — check to Monte-Carlo accuracy."""
+        vals = [random_cut(graph, seed=s).value for s in range(300)]
+        expect = np.triu(graph, 1).sum() / 2.0
+        assert np.mean(vals) == pytest.approx(expect, rel=0.1)
+
+    def test_best_of_trials_monotone(self, graph):
+        one = random_cut(graph, seed=0, trials=1).value
+        many = random_cut(graph, seed=0, trials=64).value
+        assert many >= one
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            random_cut(graph, trials=0)
+
+
+class TestGoemansWilliamson:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_approximation_ratio(self, graph, seed):
+        opt, _ = brute_force_max_cut(graph)
+        res = GoemansWilliamson(rounds=50).solve(graph, seed=seed)
+        assert res.value >= 0.878 * opt - 1e-9
+        assert res.value <= opt + 1e-9
+
+    def test_sdp_bound_upper_bounds_optimum(self, graph):
+        opt, _ = brute_force_max_cut(graph)
+        res = GoemansWilliamson().solve(graph, seed=0)
+        assert res.info["sdp_bound"] >= opt - 1e-6
+
+    def test_bits_consistent_with_value(self, graph):
+        res = GoemansWilliamson().solve(graph, seed=1)
+        assert cut_of_partition(graph, res.bits) == pytest.approx(res.value)
+
+    def test_beats_random_on_average(self, graph):
+        gw = GoemansWilliamson(rounds=50).solve(graph, seed=0).value
+        rc = np.mean([random_cut(graph, seed=s).value for s in range(50)])
+        assert gw > rc
+
+    def test_local_search_option(self, graph):
+        plain = GoemansWilliamson(rounds=10).solve(graph, seed=5)
+        polished = GoemansWilliamson(rounds=10, local_search=True).solve(graph, seed=5)
+        assert polished.value >= plain.value
+
+
+class TestBurerMonteiro:
+    def test_reaches_optimum_on_small_graph(self, graph):
+        opt, _ = brute_force_max_cut(graph)
+        res = BurerMonteiro(restarts=2).solve(graph, seed=0)
+        assert res.value == pytest.approx(opt)
+
+    def test_restarts_never_hurt(self, graph):
+        one = BurerMonteiro(restarts=1, rounds=5).solve(graph, seed=3).value
+        three = BurerMonteiro(restarts=3, rounds=5).solve(graph, seed=3).value
+        assert three >= one - 1e-9
+
+    def test_info_fields(self, graph):
+        res = BurerMonteiro(restarts=2).solve(graph, seed=0)
+        assert res.info["restarts"] == 2
+        assert res.info["rank"] >= int(np.ceil(np.sqrt(2 * 14)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurerMonteiro(restarts=0)
+
+
+class TestLocalSearch:
+    def test_never_decreases_cut(self, graph, rng):
+        for _ in range(10):
+            bits = (rng.random(14) < 0.5).astype(float)
+            before = cut_of_partition(graph, bits)
+            _, after = one_opt_local_search(graph, bits)
+            assert after >= before - 1e-12
+
+    def test_result_is_one_opt(self, graph, rng):
+        bits = (rng.random(14) < 0.5).astype(float)
+        final, val = one_opt_local_search(graph, bits)
+        # No single flip may improve.
+        for i in range(14):
+            flipped = final.copy()
+            flipped[i] = 1.0 - flipped[i]
+            assert cut_of_partition(graph, flipped) <= val + 1e-9
+
+    def test_already_optimal_unchanged(self, graph):
+        opt, bits = brute_force_max_cut(graph)
+        _, val = one_opt_local_search(graph, bits)
+        assert val == pytest.approx(opt)
+
+
+class TestTable2Ordering:
+    def test_baseline_ordering_random_lt_gw_le_bm(self):
+        """Table 2's qualitative ordering on a fresh instance."""
+        w = bernoulli_adjacency(30, seed=17)
+        rc = random_cut(w, seed=0).value
+        gw = GoemansWilliamson(rounds=30).solve(w, seed=0).value
+        bm = BurerMonteiro(rounds=30, restarts=2).solve(w, seed=0).value
+        assert rc < gw
+        assert gw <= bm + 1e-9

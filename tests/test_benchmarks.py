@@ -1,0 +1,74 @@
+"""The benchmark harness infrastructure itself."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+
+class TestHarnessHelpers:
+    def test_mean_std(self):
+        from _harness import mean_std
+
+        m, s = mean_std([1.0, 2.0, 3.0])
+        assert m == pytest.approx(2.0)
+        assert s == pytest.approx(np.std([1, 2, 3]))
+
+    def test_protocol_reexports(self):
+        import _harness
+
+        for name in ("build_model", "build_sampler", "build_optimizer",
+                     "make_hamiltonian", "train_once", "format_table"):
+            assert hasattr(_harness, name)
+
+    def test_paper_dims(self):
+        from _harness import PAPER_DIMS
+
+        assert PAPER_DIMS == (20, 50, 100, 200, 500)
+
+
+class TestRunAll:
+    def test_discovers_all_harnesses(self):
+        import run_all
+
+        names = [p.stem for p in run_all.discover()]
+        # Every paper table/figure plus the ablations must be present.
+        for required in (
+            "bench_table1_training_time",
+            "bench_table2_convergence",
+            "bench_table3_latent_ablation",
+            "bench_table4_mcmc_schemes",
+            "bench_table5_hitting_time",
+            "bench_table6_raw_scaling",
+            "bench_table7_memory_saturated",
+            "bench_fig1_sampling_cost",
+            "bench_fig2_training_curves",
+            "bench_fig3_weak_scaling",
+            "bench_fig4_batch_convergence",
+            "bench_eq14_parallel_efficiency",
+        ):
+            assert required in names, f"missing harness {required}"
+
+    def test_run_one_executes_fast_harness(self, tmp_path, monkeypatch):
+        import run_all
+
+        monkeypatch.setattr(run_all, "OUT_DIR", tmp_path)
+        path = BENCH_DIR / "bench_eq14_parallel_efficiency.py"
+        ok, elapsed = run_all.run_one(path)
+        assert ok
+        out = (tmp_path / f"{path.stem}.txt").read_text()
+        assert "Eq. 14/15" in out
+        assert "AUTO" in out
+
+    def test_main_filters(self, capsys, tmp_path, monkeypatch):
+        import run_all
+
+        monkeypatch.setattr(run_all, "OUT_DIR", tmp_path)
+        rc = run_all.main(["nonexistent-harness"])
+        assert rc == 1

@@ -1,0 +1,79 @@
+"""CLI smoke and behaviour tests (driven through main(argv))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.problem == "tim"
+        assert args.iterations == 300
+        assert args.batch_size == 1024
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--arch", "gpt"])
+
+
+class TestCommands:
+    def test_exact_chain_prints_three_solvers(self, capsys):
+        rc = main(["exact", "--problem", "chain", "--n", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "eigsh" in out and "Lanczos" in out and "Jordan-Wigner" in out
+        # All three energies shown must agree.
+        vals = [float(line.split(":")[1].split("(")[0])
+                for line in out.splitlines() if ":" in line]
+        assert np.allclose(vals, vals[0], atol=1e-6)
+
+    def test_train_tim_runs_and_reports(self, capsys):
+        rc = main([
+            "train", "--n", "8", "--iterations", "10",
+            "--batch-size", "64", "--quiet",
+        ])
+        assert rc == 0
+        assert "final: E =" in capsys.readouterr().out
+
+    def test_train_writes_log_and_checkpoint(self, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        ckpt = tmp_path / "model.npz"
+        rc = main([
+            "train", "--n", "6", "--iterations", "5", "--batch-size", "32",
+            "--quiet", "--log", str(log), "--checkpoint", str(ckpt),
+        ])
+        assert rc == 0
+        assert log.exists() and ckpt.exists()
+        from repro.utils.runlog import RunLogger
+
+        records = RunLogger.read(log)
+        assert sum(r["event"] == "step" for r in records) == 5
+
+    def test_maxcut_table_includes_optimum_for_small_n(self, capsys):
+        rc = main([
+            "maxcut", "--n", "10", "--iterations", "20", "--batch-size", "64",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for method in ("Random", "Goemans-Williamson", "Burer-Monteiro",
+                       "NES", "VQMC", "exact optimum"):
+            assert method in out
+
+    def test_sweep_aggregates(self, capsys):
+        rc = main([
+            "sweep", "--problem", "maxcut", "--n", "8",
+            "--optimizer", "adam", "--seeds", "2",
+            "--iterations", "5", "--batch-size", "32",
+            "--metric", "best_cut",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best_cut" in out and "adam" in out

@@ -1,0 +1,110 @@
+"""Memory ladder (Table 7 row) and parallel-efficiency formulas (Eq. 14/15)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import MemoryModel, mcmc_parallel_efficiency, auto_parallel_efficiency
+from repro.cluster.comm_model import allreduce_time, hierarchical_allreduce_time
+from repro.cluster.device import DGX_NODE, ClusterSpec, DeviceSpec
+from repro.cluster.efficiency import mcmc_slope
+from repro.cluster.memory import PAPER_MBS_LADDER
+
+
+class TestMemoryModel:
+    def test_ladder_matches_paper_within_one_rung(self):
+        mm = MemoryModel()
+        pred = mm.ladder()
+        exact = 0
+        for n, paper in PAPER_MBS_LADDER.items():
+            ratio = pred[n] / paper
+            assert 0.5 <= ratio <= 2.0, f"n={n}: predicted {pred[n]}, paper {paper}"
+            exact += pred[n] == paper
+        assert exact >= 6  # most rungs land exactly
+
+    def test_mbs_is_power_of_two(self):
+        mm = MemoryModel()
+        for n in (30, 77, 333, 4097):
+            mbs = mm.max_mini_batch(n)
+            assert mbs & (mbs - 1) == 0
+
+    def test_mbs_monotone_decreasing_in_n(self):
+        mm = MemoryModel()
+        sizes = [mm.max_mini_batch(n) for n in (50, 100, 500, 1000, 5000)]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_too_large_problem_raises(self):
+        tiny = DeviceSpec("tiny", 1e12, mem_bytes=1e4)
+        mm = MemoryModel(device=tiny)
+        with pytest.raises(ValueError):
+            mm.max_mini_batch(10000)
+
+    def test_model_memory_is_paper_formula(self):
+        mm = MemoryModel()
+        n, h = 100, 33
+        assert mm.model_bytes(n, h) == 4.0 * (2 * h * n + h + n)
+
+
+class TestEq14:
+    def test_speedup_is_affine_in_L(self):
+        k, ns, j = 400, 64, 1
+        effs = [mcmc_parallel_efficiency(L, ns, k, j) for L in range(1, 9)]
+        diffs = np.diff(effs)
+        assert np.allclose(diffs, diffs[0])  # affine
+
+    def test_slope_decays_with_burn_in(self):
+        assert mcmc_slope(64, 0) > mcmc_slope(64, 100) > mcmc_slope(64, 10000)
+
+    def test_no_burn_in_no_thin_is_ideal(self):
+        # k=0, j=1: speedup = (nL)/(n) = L exactly.
+        for L in (1, 2, 8):
+            assert mcmc_parallel_efficiency(L, 32, 0, 1) == pytest.approx(L)
+
+    def test_large_burn_in_kills_scaling(self):
+        eff = mcmc_parallel_efficiency(100, 16, burn_in=10**6)
+        assert eff < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mcmc_parallel_efficiency(0, 1, 1)
+
+
+class TestEq15:
+    def test_efficiency_close_to_L_for_large_n(self):
+        eff = auto_parallel_efficiency(24, n=1000, hidden=200, mini_batch=512)
+        assert eff == pytest.approx(24.0, rel=1e-3)
+
+    def test_efficiency_degrades_only_for_tiny_work(self):
+        small = auto_parallel_efficiency(8, n=2, hidden=2, mini_batch=1, comm_flops_equiv=1e6)
+        assert small < 1.0
+
+    def test_monotone_in_L(self):
+        effs = [auto_parallel_efficiency(L, 100, 50, 64) for L in range(1, 10)]
+        assert all(b > a for a, b in zip(effs, effs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            auto_parallel_efficiency(0, 10, 10, 10)
+
+
+class TestCommModel:
+    def test_single_endpoint_free(self):
+        assert allreduce_time(1000, 1, 1e9, 1e-6) == 0.0
+
+    def test_bandwidth_term_scales_with_payload(self):
+        t1 = allreduce_time(10_000, 4, 1e9, 0.0)
+        t2 = allreduce_time(20_000, 4, 1e9, 0.0)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_latency_term_scales_with_endpoints(self):
+        t4 = allreduce_time(1, 4, 1e20, 1e-6)
+        t8 = allreduce_time(1, 8, 1e20, 1e-6)
+        assert t8 > t4
+
+    def test_hierarchical_combines_levels(self):
+        cluster = ClusterSpec(node=DGX_NODE, nodes=6)
+        single = hierarchical_allreduce_time(10_000, 1, 4, cluster)
+        multi = hierarchical_allreduce_time(10_000, 6, 4, cluster)
+        assert multi > single > 0.0
+        assert hierarchical_allreduce_time(10_000, 1, 1, cluster) == 0.0

@@ -1,0 +1,88 @@
+"""Cluster performance model: calibration accuracy and scaling shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    MadeAutoCostModel,
+    RbmMcmcCostModel,
+    calibrate_to_table1,
+)
+from repro.cluster.perfmodel import TABLE1_MADE_SECONDS, TABLE1_RBM_SECONDS
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    return calibrate_to_table1()
+
+
+class TestCalibration:
+    def test_made_within_20_percent_of_table1(self, calibrated):
+        made, _ = calibrated
+        for n, t in TABLE1_MADE_SECONDS.items():
+            pred = made.training_time(n, 1024, 300)
+            assert abs(pred - t) / t < 0.20, f"n={n}: {pred:.2f} vs {t}"
+
+    def test_rbm_within_10_percent_of_table1(self, calibrated):
+        _, rbm = calibrated
+        for n, t in TABLE1_RBM_SECONDS.items():
+            pred = rbm.training_time(n, 1024, 300)
+            assert abs(pred - t) / t < 0.10, f"n={n}: {pred:.2f} vs {t}"
+
+    def test_made_much_faster_than_rbm_everywhere(self, calibrated):
+        """Table 1's headline: MADE+AUTO ≫ RBM+MCMC at every size."""
+        made, rbm = calibrated
+        for n in TABLE1_MADE_SECONDS:
+            assert made.training_time(n, 1024) < rbm.training_time(n, 1024) / 5
+
+
+class TestShapes:
+    def test_made_time_roughly_linear_in_n(self, calibrated):
+        made, _ = calibrated
+        t100 = made.training_time(100, 1024)
+        t200 = made.training_time(200, 1024)
+        t400 = made.training_time(400, 1024)
+        assert 1.5 < t200 / t100 < 3.0
+        assert 1.5 < t400 / t200 < 3.0
+
+    def test_mcmc_time_scales_with_chain_length(self, calibrated):
+        _, rbm = calibrated
+        base = rbm.training_time(100, 1024, burn_in=100)
+        long = rbm.training_time(100, 1024, burn_in=1000)
+        assert long > base
+        # Thinning ×k scales the collection phase ≈ ×k (Table 4's time rows).
+        t1 = rbm.sampling_time(100, 1024, thin=1)
+        t10 = rbm.sampling_time(100, 1024, thin=10)
+        assert 5 < t10 / t1 < 11
+
+    def test_weak_scaling_is_flat(self, calibrated):
+        """Fig. 3: normalised times ≈ 1 across GPU configurations."""
+        made, _ = calibrated
+        configs = [(1, 1), (1, 2), (1, 4), (2, 2), (2, 4), (4, 2), (4, 4), (8, 2), (6, 4)]
+        table = made.weak_scaling_table(
+            (1000, 2000), {1000: 512, 2000: 128}, configs
+        )
+        for n, times in table.items():
+            values = np.array(list(times.values()))
+            norm = values / values[-1]  # normalise by the 6×4 config
+            assert np.all(np.abs(norm - 1.0) < 0.05), f"n={n}: {norm}"
+
+    def test_allreduce_negligible_vs_sampling(self, calibrated):
+        made, _ = calibrated
+        samp = made.sampling_time(1000, 512)
+        comm = made.allreduce_time(1000, 6, 4)
+        assert comm < samp / 100
+
+    def test_component_times_positive(self):
+        model = MadeAutoCostModel()
+        assert model.sampling_time(50, 16) > 0
+        assert model.measurement_time(50, 16) > 0
+        assert model.backward_time(50, 16) > 0
+        assert model.allreduce_time(50, 1, 1) == 0.0
+
+    def test_rbm_chain_steps_formula(self):
+        model = RbmMcmcCostModel(chains=2)
+        assert model.chain_steps(100, 1024) == 3 * 100 + 100 + 512
+        assert model.chain_steps(100, 1024, burn_in=50, thin=3) == 50 + 3 * 512

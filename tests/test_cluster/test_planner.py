@@ -1,0 +1,98 @@
+"""Parallelism planner: feasibility and the DP-until-memory-binds rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.device import ClusterSpec, DeviceSpec, NodeSpec
+from repro.cluster.planner import ParallelPlan, plan_parallelism
+
+
+class TestPlanner:
+    def test_returns_sorted_feasible_plans(self):
+        plans = plan_parallelism(500, global_batch=256)
+        assert plans
+        times = [p.iteration_time for p in plans]
+        assert times == sorted(times)
+        assert all(p.memory_ok for p in plans)
+
+    def test_batch_divisibility_respected(self):
+        plans = plan_parallelism(100, global_batch=96)
+        for p in plans:
+            assert 96 % p.data_ranks == 0
+            assert p.mini_batch * p.data_ranks == 96
+
+    def test_pure_data_parallel_wins_when_memory_is_plentiful(self):
+        """The paper's regime: the model is tiny, so sharding only adds
+        per-pass logit allreduces — never worth it."""
+        best = plan_parallelism(1000, global_batch=512)[0]
+        assert best.model_shards == 1
+        assert best.data_ranks > 1
+
+    def test_sharding_chosen_when_model_dominates_memory(self):
+        """A fat-hidden-layer model on small-memory devices: only sharded
+        plans fit, so the planner must pick model_shards > 1."""
+        tiny = DeviceSpec("tiny", 15.7e12, mem_bytes=3.0e8)
+        cluster = ClusterSpec(node=NodeSpec(device=tiny, gpus=4), nodes=1)
+        plans = plan_parallelism(
+            200, global_batch=1, hidden=100_000, cluster=cluster
+        )
+        best = plans[0]
+        assert best.memory_ok
+        assert best.model_shards > 1
+
+    def test_infeasible_plans_returned_when_nothing_fits(self):
+        nano = DeviceSpec("nano", 1e12, mem_bytes=1e6)
+        cluster = ClusterSpec(node=NodeSpec(device=nano, gpus=2), nodes=1)
+        plans = plan_parallelism(1000, global_batch=64, cluster=cluster)
+        assert plans
+        assert not any(p.memory_ok for p in plans)
+
+    def test_gpu_budget_respected(self):
+        plans = plan_parallelism(100, global_batch=1024)
+        cluster_gpus = 24  # default 6 nodes × 4
+        assert all(p.total_gpus <= cluster_gpus for p in plans)
+
+    def test_mp_comm_zero_without_sharding(self):
+        for p in plan_parallelism(100, global_batch=64):
+            if p.model_shards == 1:
+                assert p.mp_comm_time == 0.0
+            else:
+                assert p.mp_comm_time > 0.0
+
+    def test_str_rendering(self):
+        plan = plan_parallelism(50, global_batch=32)[0]
+        s = str(plan)
+        assert "DP" in s and "MP" in s and "ms/iter" in s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_parallelism(0, global_batch=8)
+        with pytest.raises(ValueError):
+            plan_parallelism(10, global_batch=0)
+
+
+class TestScalingReport:
+    def test_report_contains_all_sections(self):
+        from repro.cluster.report import scaling_report
+
+        text = scaling_report(500, global_batch=256, iterations=100)
+        for fragment in (
+            "Scaling report", "Single device", "Recommended execution plans",
+            "Speedup over one device", "Robustness", "straggler",
+        ):
+            assert fragment in text, fragment
+
+    def test_report_validation(self):
+        from repro.cluster.report import scaling_report
+
+        with pytest.raises(ValueError):
+            scaling_report(0)
+
+    def test_cli_plan_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["plan", "--n", "200", "--batch-size", "128",
+                     "--iterations", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Recommended execution plans" in out

@@ -1,0 +1,92 @@
+"""Discrete-event simulator vs the closed-form model, plus stragglers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import MadeAutoCostModel
+from repro.cluster.simulator import DataParallelSimulator
+
+
+class TestHomogeneous:
+    def test_matches_closed_form_model(self):
+        """With no jitter and unit speeds, simulated wall time equals the
+        closed-form iteration time up to the tiny update term."""
+        sim = DataParallelSimulator(n=200, mini_batch=64, n_nodes=2,
+                                    gpus_per_node=4)
+        res = sim.run(iterations=3)
+        model = MadeAutoCostModel()
+        expect = model.iteration_time(200, 64, n_nodes=2, gpus_per_node=4)
+        assert res.mean_iteration == pytest.approx(expect, rel=0.01)
+
+    def test_no_idle_when_homogeneous(self):
+        res = DataParallelSimulator(n=100, mini_batch=32, gpus_per_node=4).run(2)
+        assert all(t.idle == pytest.approx(0.0, abs=1e-15) for t in res.timelines)
+        assert np.allclose(res.utilization, 1.0)
+
+    def test_deterministic_without_jitter(self):
+        sim = DataParallelSimulator(n=50, mini_batch=16, gpus_per_node=2)
+        a = sim.run(5).iteration_times
+        b = sim.run(5).iteration_times
+        assert np.array_equal(a, b)
+        assert np.allclose(a, a[0])
+
+
+class TestStragglers:
+    def test_one_straggler_gates_the_job(self):
+        base = DataParallelSimulator(n=100, mini_batch=32, n_nodes=2,
+                                     gpus_per_node=4).run(3)
+        factors = np.ones(8)
+        factors[3] = 2.0  # one 2× slow GPU
+        slow = DataParallelSimulator(
+            n=100, mini_batch=32, n_nodes=2, gpus_per_node=4,
+            speed_factors=factors,
+        ).run(3)
+        # Compute dominates this configuration, so the whole job runs ≈ 2×.
+        assert slow.slowdown_vs(base) > 1.8
+
+    def test_fast_ranks_idle_at_barrier(self):
+        factors = np.array([1.0, 1.0, 1.0, 3.0])
+        res = DataParallelSimulator(
+            n=100, mini_batch=32, gpus_per_node=4, speed_factors=factors
+        ).run(2)
+        idles = [t.idle for t in res.timelines]
+        assert idles[3] == pytest.approx(0.0, abs=1e-15)  # straggler never waits
+        assert all(i > 0 for i in idles[:3])
+        assert res.utilization[3] > res.utilization[0]
+
+    def test_jitter_raises_mean_iteration_time(self):
+        """Synchronous steps take the max over ranks, so zero-mean noise
+        still *increases* expected wall time (the straggler effect of pure
+        variance)."""
+        quiet = DataParallelSimulator(n=100, mini_batch=32, gpus_per_node=8).run(20)
+        noisy = DataParallelSimulator(
+            n=100, mini_batch=32, gpus_per_node=8, jitter=0.3
+        ).run(20, rng=np.random.default_rng(7))
+        assert noisy.mean_iteration > quiet.mean_iteration
+
+    def test_timeline_accounting_consistent(self):
+        factors = np.array([1.0, 2.0])
+        res = DataParallelSimulator(
+            n=50, mini_batch=16, gpus_per_node=2, speed_factors=factors
+        ).run(1)
+        totals = {t.total for t in res.timelines}
+        # Every rank's busy+idle must equal the same wall time.
+        assert max(totals) - min(totals) < 1e-12
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            DataParallelSimulator(n=0, mini_batch=4)
+        with pytest.raises(ValueError):
+            DataParallelSimulator(n=10, mini_batch=4, speed_factors=np.ones(3))
+        with pytest.raises(ValueError):
+            DataParallelSimulator(
+                n=10, mini_batch=4, speed_factors=np.array([0.0])
+            )
+        with pytest.raises(ValueError):
+            DataParallelSimulator(n=10, mini_batch=4, jitter=-1.0)
+        with pytest.raises(ValueError):
+            DataParallelSimulator(n=10, mini_batch=4).run(0)

@@ -1,0 +1,102 @@
+"""Observables: magnetisation, correlations, fidelity, entropy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.observables import (
+    fidelity,
+    kl_divergence,
+    magnetization,
+    sample_entropy_estimate,
+    site_magnetization,
+    spin_correlations,
+    structure_factor,
+)
+from repro.exact import ground_state
+from repro.models import MADE, MeanField, RBM
+
+
+class TestDiagonalObservables:
+    def test_all_up_state(self):
+        x = np.zeros((10, 6))  # bits 0 → spins +1
+        assert magnetization(x) == pytest.approx(1.0)
+        assert np.allclose(site_magnetization(x), 1.0)
+        corr = spin_correlations(x)
+        assert np.allclose(corr, 0.0)  # no fluctuations → connected corr 0
+
+    def test_random_state_magnetisation_small(self, rng):
+        x = (rng.random((20000, 10)) < 0.5).astype(float)
+        assert magnetization(x) < 0.35
+        assert np.all(np.abs(site_magnetization(x)) < 0.05)
+
+    def test_correlations_of_perfectly_correlated_pairs(self, rng):
+        b = (rng.random(5000) < 0.5).astype(float)
+        x = np.stack([b, b, 1.0 - b], axis=1)
+        corr = spin_correlations(x)
+        assert corr[0, 1] == pytest.approx(corr[0, 0], abs=1e-9)  # z0 == z1
+        assert corr[0, 2] == pytest.approx(-corr[0, 0], abs=1e-9)
+
+    def test_structure_factor_ferromagnet(self):
+        x = np.zeros((100, 8))
+        assert structure_factor(x, 0.0) == pytest.approx(8.0)
+        assert structure_factor(x, np.pi) == pytest.approx(0.0, abs=1e-10)
+
+    def test_structure_factor_antiferromagnet(self):
+        x = np.tile((np.arange(8) % 2).astype(float), (100, 1))
+        assert structure_factor(x, np.pi) == pytest.approx(8.0)
+        assert structure_factor(x, 0.0) == pytest.approx(0.0, abs=1e-10)
+
+
+class TestModelQualityMetrics:
+    def test_fidelity_bounds_and_self_consistency(self, small_tim, rng):
+        model = MADE(6, hidden=10, rng=rng)
+        gs = ground_state(small_tim)
+        f = fidelity(model, gs.vector)
+        assert 0.0 <= f <= 1.0
+
+    def test_fidelity_after_training_is_high(self, small_tim, rng):
+        from repro.core import VQMC
+        from repro.optim import SGD, StochasticReconfiguration
+        from repro.samplers import AutoregressiveSampler
+
+        model = MADE(6, hidden=12, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(),
+            SGD(model.parameters(), lr=0.1),
+            sr=StochasticReconfiguration(), seed=1,
+        )
+        gs = ground_state(small_tim)
+        before = fidelity(model, gs.vector)
+        vqmc.run(120, batch_size=256)
+        after = fidelity(model, gs.vector)
+        assert after > before
+        assert after > 0.95
+
+    def test_kl_zero_for_matching_distribution(self, rng):
+        model = MADE(5, hidden=8, rng=rng)
+        kl = kl_divergence(model, model.exact_distribution())
+        assert kl == pytest.approx(0.0, abs=1e-10)
+
+    def test_kl_positive_for_mismatched(self, rng):
+        model = MADE(5, hidden=8, rng=rng)
+        target = np.zeros(32)
+        target[7] = 1.0  # point mass
+        assert kl_divergence(model, target) > 0.1
+
+    def test_kl_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            kl_divergence(MADE(5, rng=rng), np.ones(8) / 8)
+
+    def test_entropy_estimate(self, rng):
+        mf = MeanField(6, rng=rng)
+        mf.logits.data[...] = 0.0  # exactly uniform → H = 6 ln 2
+        x = mf.sample(20000, rng)
+        h = sample_entropy_estimate(mf, x)
+        assert h == pytest.approx(6 * np.log(2), abs=1e-9)  # log-prob is constant
+
+    def test_entropy_rejects_unnormalised(self, rng):
+        rbm = RBM(5, rng=rng)
+        with pytest.raises(TypeError):
+            sample_entropy_estimate(rbm, np.zeros((4, 5)))

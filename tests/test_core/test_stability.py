@@ -1,0 +1,80 @@
+"""Numerical-stability guards: ratio clipping and the divergence skip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import VQMC
+from repro.core.energy import MAX_LOG_RATIO, local_energies
+from repro.hamiltonians import TransverseFieldIsing
+from repro.models import RBM, MADE
+from repro.optim import SGD
+from repro.samplers import MetropolisSampler, AutoregressiveSampler
+
+
+class TestRatioClipping:
+    def test_collapsed_rbm_gives_finite_local_energies(self, small_tim):
+        """An RBM with huge couplings produces astronomically large amplitude
+        ratios; the clip must keep local energies finite."""
+        rbm = RBM(6, rng=np.random.default_rng(0))
+        rbm.fc.weight.data[...] = 500.0  # pathological
+        x = np.zeros((4, 6))
+        x[:, 0] = 1.0
+        local = local_energies(rbm, small_tim, x)
+        assert np.all(np.isfinite(local))
+        assert np.all(np.abs(local) < np.exp(MAX_LOG_RATIO) * 100)
+
+    def test_clip_inactive_for_normal_models(self, small_tim, rng):
+        """For a healthy model the clip must not alter the exact values."""
+        model = MADE(6, hidden=8, rng=rng)
+        states = np.asarray(
+            ((np.arange(64)[:, None] >> np.arange(5, -1, -1)) & 1), dtype=float
+        )
+        mat = small_tim.to_dense()
+        from repro.tensor.tensor import no_grad
+
+        with no_grad():
+            psi = np.exp(model.log_psi(states).data)
+        expect = (mat @ psi) / psi
+        assert np.allclose(local_energies(model, small_tim, states), expect)
+
+
+class TestDivergenceGuard:
+    def test_nonfinite_gradient_skips_update(self, small_tim, rng):
+        model = MADE(6, hidden=8, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(),
+            SGD(model.parameters(), lr=0.1), seed=1,
+        )
+        before = model.flat_parameters()
+
+        # Monkeypatch the gradient path to return NaN once.
+        original = model.log_psi_and_grads
+
+        def poisoned(x):
+            lp, o = original(x)
+            o = o.copy()
+            o[0, 0] = np.nan
+            return lp, o
+
+        model.log_psi_and_grads = poisoned
+        from repro.core.vqmc import VQMCConfig
+
+        vqmc.config = VQMCConfig(gradient_mode="per_sample")
+        vqmc.step(batch_size=16)
+        assert np.array_equal(model.flat_parameters(), before)
+        assert vqmc.diverged_steps == 1
+
+    def test_unstable_rbm_training_stays_finite(self):
+        """The Table-2 failure case: RBM+MCMC+SGD on a dense disordered TIM.
+        Training may fail to converge (it does for the paper too at scale)
+        but must never produce non-finite parameters."""
+        tim = TransverseFieldIsing.random(30, seed=30)
+        model = RBM(30, rng=np.random.default_rng(0))
+        vqmc = VQMC(
+            model, tim, MetropolisSampler(n_chains=2),
+            SGD(model.parameters(), lr=0.1), seed=2,
+        )
+        vqmc.run(30, batch_size=64)
+        assert np.all(np.isfinite(model.flat_parameters()))

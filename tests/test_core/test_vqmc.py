@@ -1,0 +1,218 @@
+"""VQMC driver: convergence to exact ground states, callbacks, config."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import History, HittingTime, ProgressPrinter, VQMC, VQMCConfig
+from repro.core.callbacks import StopTraining
+from repro.exact import brute_force_max_cut, ground_state
+from repro.hamiltonians import MaxCut, TransverseFieldIsing
+from repro.models import MADE, RBM
+from repro.optim import SGD, Adam, StochasticReconfiguration
+from repro.samplers import AutoregressiveSampler, MetropolisSampler
+
+
+class TestConvergence:
+    def test_made_auto_adam_reaches_ground_state(self, small_tim, rng):
+        model = MADE(6, hidden=12, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(),
+            Adam(model.parameters(), lr=0.02), seed=1,
+        )
+        vqmc.run(250, batch_size=256)
+        exact = ground_state(small_tim).energy
+        final = vqmc.evaluate(batch_size=1024)
+        assert final.mean < exact + 0.35 * abs(exact) / 6  # within a few %
+        # Variational bound holds in expectation; a batch mean may dip below
+        # λ_min by Monte-Carlo noise, bounded by a few standard errors.
+        assert final.mean > exact - 5 * final.sem
+
+    def test_sr_converges_faster_than_plain_sgd(self, small_tim, rng):
+        def train(with_sr):
+            model = MADE(6, hidden=12, rng=np.random.default_rng(5))
+            sr = StochasticReconfiguration() if with_sr else None
+            vqmc = VQMC(
+                model, small_tim, AutoregressiveSampler(),
+                SGD(model.parameters(), lr=0.1), sr=sr, seed=2,
+            )
+            vqmc.run(60, batch_size=256)
+            return vqmc.evaluate(512).mean
+
+        assert train(True) < train(False) + 0.15
+
+    def test_rbm_mcmc_improves_energy(self, small_tim, rng):
+        model = RBM(6, rng=rng)
+        sampler = MetropolisSampler(n_chains=2, burn_in=100)
+        vqmc = VQMC(model, small_tim, sampler, SGD(model.parameters(), lr=0.05), seed=3)
+        first = vqmc.step(batch_size=256).stats.mean
+        vqmc.run(60, batch_size=256)
+        final = vqmc.evaluate(512).mean
+        assert final < first
+
+    def test_maxcut_finds_optimum_small(self, rng):
+        ham = MaxCut.random(8, seed=11)
+        opt, _ = brute_force_max_cut(ham.adjacency)
+        model = MADE(8, hidden=14, rng=rng)
+        vqmc = VQMC(
+            model, ham, AutoregressiveSampler(), Adam(model.parameters(), lr=0.05),
+            sr=None, seed=4,
+        )
+        vqmc.run(200, batch_size=256)
+        x = AutoregressiveSampler().sample(model, 512, np.random.default_rng(0))
+        best_cut = ham.cut_value(x).max()
+        assert best_cut >= opt - 1e-9  # samples include the optimal cut
+
+    def test_variational_lower_bound_never_violated(self, small_tim, rng):
+        """Every evaluation batch mean stays ≥ λ_min up to Monte-Carlo SEM."""
+        model = MADE(6, hidden=10, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(),
+            Adam(model.parameters()), seed=5,
+        )
+        exact = ground_state(small_tim).energy
+        results = vqmc.run(80, batch_size=256)
+        for r in results:
+            assert r.stats.mean > exact - 5 * max(r.stats.sem, 1e-12)
+
+
+class TestStepMechanics:
+    def test_gradient_modes_agree(self, small_tim):
+        """'autograd' and 'per_sample' must produce the same update."""
+
+        def one_step(mode):
+            model = MADE(6, hidden=8, rng=np.random.default_rng(9))
+            vqmc = VQMC(
+                model, small_tim, AutoregressiveSampler(),
+                SGD(model.parameters(), lr=0.1), seed=7,
+                config=VQMCConfig(batch_size=128, gradient_mode=mode),
+            )
+            vqmc.step()
+            return model.flat_parameters()
+
+        assert np.allclose(one_step("autograd"), one_step("per_sample"), atol=1e-10)
+
+    def test_step_result_fields(self, small_tim, rng):
+        model = MADE(6, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(), Adam(model.parameters()), seed=1
+        )
+        r = vqmc.step(batch_size=64)
+        assert r.step == 1
+        assert r.stats.count == 64
+        assert r.grad_norm > 0
+        assert r.step_time > 0
+        assert np.isnan(r.acceptance)  # AUTO has no acceptance rate
+        r2 = vqmc.step(batch_size=64)
+        assert r2.step == 2
+
+    def test_mismatched_sizes_rejected(self, small_tim, rng):
+        model = MADE(5, rng=rng)
+        with pytest.raises(ValueError):
+            VQMC(model, small_tim, AutoregressiveSampler(), Adam(model.parameters()))
+
+    def test_sr_requires_per_sample_grads(self, small_tim, rng):
+        class NoGrads(MADE):
+            has_per_sample_grads = False
+
+        model = NoGrads(6, rng=rng)
+        with pytest.raises(TypeError):
+            VQMC(
+                model, small_tim, AutoregressiveSampler(),
+                SGD(model.parameters(), lr=0.1),
+                sr=StochasticReconfiguration(),
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            VQMCConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            VQMCConfig(gradient_mode="magic")
+
+
+class TestCallbacks:
+    def test_history_records_all_steps(self, small_tim, rng):
+        model = MADE(6, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(), Adam(model.parameters()), seed=1
+        )
+        hist = History()
+        vqmc.run(10, batch_size=64, callbacks=[hist])
+        assert len(hist) == 10
+        arrays = hist.as_arrays()
+        assert arrays["energy"].shape == (10,)
+        assert np.all(arrays["std"] >= 0)
+
+    def test_hitting_time_stops_early(self, rng):
+        ham = MaxCut.random(8, seed=11)
+        model = MADE(8, hidden=14, rng=rng)
+        vqmc = VQMC(
+            model, ham, AutoregressiveSampler(), Adam(model.parameters(), lr=0.05),
+            seed=4,
+        )
+        target = 3.0  # trivially reachable cut
+        cb = HittingTime(
+            target, score_fn=lambda x: ham.cut_value(x).mean(), eval_batch_size=128
+        )
+        results = vqmc.run(100, batch_size=128, callbacks=[cb])
+        assert cb.hit_step is not None
+        assert cb.hit_time is not None and cb.hit_time > 0
+        assert len(results) == cb.hit_step
+
+    def test_hitting_time_default_score_is_negative_energy(self, small_tim, rng):
+        model = MADE(6, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(), Adam(model.parameters()), seed=2
+        )
+        cb = HittingTime(target=-1e9, eval_batch_size=64)  # any energy qualifies... no:
+        # target -1e9 means score (-E) must exceed -1e9 — immediate hit.
+        vqmc.run(5, batch_size=64, callbacks=[cb])
+        assert cb.hit_step == 1
+
+    def test_progress_printer(self, small_tim, rng, capsys):
+        import io
+
+        model = MADE(6, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(), Adam(model.parameters()), seed=1
+        )
+        buf = io.StringIO()
+        vqmc.run(4, batch_size=32, callbacks=[ProgressPrinter(every=2, stream=buf)])
+        out = buf.getvalue()
+        assert "step" in out and "E =" in out
+
+    def test_stop_training_exception_ends_run_gracefully(self, small_tim, rng):
+        class StopAt3:
+            def on_run_begin(self, v):
+                pass
+
+            def on_run_end(self, v):
+                self.ended = True
+
+            def on_step(self, step, result):
+                if step == 3:
+                    raise StopTraining
+
+        model = MADE(6, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(), Adam(model.parameters()), seed=1
+        )
+        cb = StopAt3()
+        results = vqmc.run(100, batch_size=32, callbacks=[cb])
+        assert len(results) == 3
+        assert cb.ended
+
+
+class TestPhaseClock:
+    def test_phase_clock_records_sections(self, small_tim, rng):
+        model = MADE(6, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(), Adam(model.parameters()),
+            seed=1,
+        )
+        vqmc.run(3, batch_size=32)
+        for phase in ("sample", "energy", "gradient", "update"):
+            assert vqmc.clock.counts[phase] == 3
+            assert vqmc.clock.totals[phase] >= 0.0
+        assert "sample" in vqmc.clock.summary()

@@ -1,0 +1,63 @@
+"""Process-backend (fork + pipes) integration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import run_processes
+
+
+def _allreduce_worker(comm, rank, alg):
+    comm.algorithm = alg
+    return comm.allreduce(np.arange(6.0) * (rank + 1))
+
+
+def _barrier_worker(comm, rank):
+    comm.barrier()
+    gathered = comm.allgather(np.array([float(rank)]))
+    comm.barrier()
+    return np.concatenate(gathered)
+
+
+def _failing_worker(comm, rank):
+    if rank == 1:
+        raise RuntimeError("boom")
+    # Other ranks exit without communicating: collective calls would hang,
+    # so this worker does nothing.
+    return rank
+
+
+class TestProcesses:
+    @pytest.mark.parametrize("alg", ["ring", "naive"])
+    def test_allreduce(self, alg):
+        results = run_processes(_allreduce_worker, 3, args=(alg,))
+        expect = np.arange(6.0) * 6
+        for r in results:
+            assert np.allclose(r, expect)
+
+    def test_allgather_and_barrier(self):
+        results = run_processes(_barrier_worker, 4)
+        for r in results:
+            assert np.allclose(r, np.arange(4.0))
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            run_processes(_failing_worker, 2, timeout=30.0)
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            run_processes(_barrier_worker, 0)
+
+    def test_large_payload_does_not_deadlock(self):
+        """Simultaneous sends larger than the pipe buffer (64 KiB) would
+        deadlock a naive blocking implementation; the eager sender threads
+        must absorb them."""
+
+        def worker(comm, rank):
+            big = np.full(300_000, float(rank))  # 2.4 MB
+            return comm.allreduce(big)[:3]
+
+        results = run_processes(worker, 2, timeout=60.0)
+        for r in results:
+            assert np.allclose(r, 1.0)

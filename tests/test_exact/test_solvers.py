@@ -1,0 +1,113 @@
+"""Exact diagonalisation: our Lanczos vs scipy vs dense vs brute force."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exact import (
+    Lanczos,
+    brute_force_ground_state,
+    brute_force_max_cut,
+    ground_state,
+    lanczos_ground_state,
+)
+from repro.hamiltonians import MaxCut, TransverseFieldIsing
+
+
+class TestGroundState:
+    def test_matches_dense_eigh(self, small_tim):
+        gs = ground_state(small_tim)
+        vals = np.linalg.eigvalsh(small_tim.to_dense())
+        assert gs.energy == pytest.approx(vals[0], abs=1e-9)
+
+    def test_vector_is_eigenvector(self, small_tim):
+        gs = ground_state(small_tim)
+        mat = small_tim.to_dense()
+        assert np.allclose(mat @ gs.vector, gs.energy * gs.vector, atol=1e-8)
+
+    def test_ground_state_sign_free(self, small_tim):
+        """Perron–Frobenius: the ground vector can be chosen non-negative."""
+        gs = ground_state(small_tim)
+        v = gs.vector * np.sign(gs.vector[np.argmax(np.abs(gs.vector))])
+        assert np.all(v >= -1e-9)
+
+    def test_probabilities_sum_to_one(self, small_tim):
+        assert ground_state(small_tim).probabilities.sum() == pytest.approx(1.0)
+
+    def test_sparse_path_used_for_larger_n(self):
+        ham = TransverseFieldIsing.random(8, seed=2)
+        gs = ground_state(ham)
+        vals = np.linalg.eigvalsh(ham.to_dense())
+        assert gs.energy == pytest.approx(vals[0], abs=1e-8)
+
+
+class TestLanczos:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_eigsh(self, seed):
+        ham = TransverseFieldIsing.random(8, seed=seed)
+        ours = lanczos_ground_state(ham)
+        ref = ground_state(ham)
+        assert ours.converged
+        assert ours.energy == pytest.approx(ref.energy, abs=1e-8)
+        # Eigenvectors agree up to sign.
+        overlap = abs(ours.vector @ ref.vector)
+        assert overlap == pytest.approx(1.0, abs=1e-6)
+
+    def test_dense_symmetric_matrix(self, rng):
+        a = rng.normal(size=(60, 60))
+        a = (a + a.T) / 2
+        res = Lanczos(max_iter=120).minimal_eigenpair(a)
+        assert res.energy == pytest.approx(np.linalg.eigvalsh(a)[0], abs=1e-7)
+
+    def test_krylov_exhaustion_small_space(self):
+        a = np.diag([3.0, 1.0, 2.0])
+        res = Lanczos(max_iter=50).minimal_eigenpair(a)
+        assert res.energy == pytest.approx(1.0)
+        assert res.converged
+
+    def test_residual_reported(self, small_tim):
+        res = lanczos_ground_state(small_tim)
+        mat = small_tim.to_dense()
+        explicit = np.linalg.norm(mat @ res.vector - res.energy * res.vector)
+        assert res.residual_norm == pytest.approx(explicit, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Lanczos(max_iter=1)
+        with pytest.raises(TypeError):
+            Lanczos().minimal_eigenpair(object())
+        with pytest.raises(ValueError):
+            Lanczos().minimal_eigenpair(np.zeros((2, 3)))
+
+
+class TestBruteForce:
+    def test_max_cut_on_known_graph(self):
+        # 4-cycle: max cut = 4 (alternate sides).
+        w = np.zeros((4, 4))
+        for i in range(4):
+            w[i, (i + 1) % 4] = w[(i + 1) % 4, i] = 1.0
+        val, bits = brute_force_max_cut(w)
+        assert val == 4.0
+        assert bits[0] != bits[1] and bits[1] != bits[2]
+
+    def test_max_cut_complete_graph(self):
+        # K4 with unit weights: best cut = 4 (2-2 split).
+        w = 1.0 - np.eye(4)
+        val, _ = brute_force_max_cut(w)
+        assert val == 4.0
+
+    def test_ground_state_diagonal_hamiltonian(self):
+        mc = MaxCut.random(8, seed=1)
+        e, bits = brute_force_ground_state(mc)
+        opt, _ = brute_force_max_cut(mc.adjacency)
+        assert e == pytest.approx(-opt)
+        assert mc.cut_value(bits[None])[0] == pytest.approx(opt)
+
+    def test_ground_state_offdiagonal_falls_back_to_eigh(self, small_tim):
+        e, vec = brute_force_ground_state(small_tim)
+        assert e == pytest.approx(ground_state(small_tim).energy, abs=1e-9)
+
+    def test_size_limits(self):
+        with pytest.raises(ValueError):
+            brute_force_max_cut(np.zeros((30, 30)))

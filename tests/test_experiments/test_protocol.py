@@ -1,0 +1,90 @@
+"""Experiment protocol builders (the §5.1 settings as code)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    build_model,
+    build_optimizer,
+    build_sampler,
+    make_hamiltonian,
+    train_once,
+)
+from repro.hamiltonians import LatticeTFIM, MaxCut, TransverseFieldIsing
+from repro.models import MADE, RBM, MeanField
+from repro.models.made import default_hidden_size
+from repro.optim import SGD, Adam
+from repro.samplers import AutoregressiveSampler, MetropolisSampler, ParallelTemperingSampler
+
+
+class TestBuilders:
+    def test_made_default_hidden_is_papers(self):
+        model = build_model("made", 100, seed=0)
+        assert isinstance(model, MADE)
+        assert model.hidden == default_hidden_size(100)
+
+    def test_rbm_default_hidden_is_n(self):
+        model = build_model("rbm", 37, seed=0)
+        assert isinstance(model, RBM)
+        assert model.hidden == 37
+
+    def test_mean_field(self):
+        assert isinstance(build_model("mean_field", 10, seed=0), MeanField)
+
+    def test_unknown_arch(self):
+        with pytest.raises(ValueError):
+            build_model("transformer", 10, seed=0)
+
+    def test_sampler_kinds(self):
+        assert isinstance(build_sampler("auto", 10), AutoregressiveSampler)
+        mcmc = build_sampler("mcmc", 10)
+        assert isinstance(mcmc, MetropolisSampler)
+        assert mcmc.n_chains == 2
+        assert mcmc.burn_in_steps(10) == 130  # 3n + 100
+        assert isinstance(build_sampler("tempering", 10), ParallelTemperingSampler)
+        with pytest.raises(ValueError):
+            build_sampler("hmc", 10)
+
+    def test_optimizer_settings(self):
+        model = build_model("made", 10, seed=0)
+        sgd, sr = build_optimizer("sgd", model)
+        assert isinstance(sgd, SGD) and sgd.lr == 0.1 and sr is None
+        adam, sr = build_optimizer("adam", model)
+        assert isinstance(adam, Adam) and adam.lr == 0.01 and sr is None
+        sgd2, sr2 = build_optimizer("sgd+sr", model)
+        assert sr2 is not None and sr2.diag_shift == 1e-3
+        with pytest.raises(ValueError):
+            build_optimizer("lbfgs", model)
+
+    def test_hamiltonian_factory(self):
+        assert isinstance(make_hamiltonian("tim", 8, seed=1), TransverseFieldIsing)
+        assert isinstance(make_hamiltonian("maxcut", 8, seed=1), MaxCut)
+        assert isinstance(make_hamiltonian("chain", 8), LatticeTFIM)
+        grid = make_hamiltonian("grid", 6, lx=2, ly=3)
+        assert isinstance(grid, LatticeTFIM) and grid.shape == (2, 3)
+        with pytest.raises(ValueError):
+            make_hamiltonian("grid", 6, lx=2, ly=2)
+        with pytest.raises(ValueError):
+            make_hamiltonian("heisenberg", 8)
+
+    def test_instances_reproducible(self):
+        a = make_hamiltonian("tim", 10, seed=5)
+        b = make_hamiltonian("tim", 10, seed=5)
+        assert np.array_equal(a.couplings, b.couplings)
+
+
+class TestTrainOnce:
+    def test_maxcut_reports_cut(self):
+        ham = make_hamiltonian("maxcut", 10, seed=2)
+        out = train_once(ham, "made", "auto", "adam", 15, 64, seed=0)
+        assert out.best_cut is not None and out.best_cut > 0
+        assert out.train_seconds > 0
+        assert len(out.history) == 15
+
+    def test_tim_has_no_cut(self):
+        ham = make_hamiltonian("tim", 8, seed=2)
+        out = train_once(ham, "made", "auto", "sgd", 10, 64, seed=0)
+        assert out.best_cut is None
+        assert np.isfinite(out.final_energy)

@@ -1,0 +1,89 @@
+"""Sweep expansion, execution and aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import Sweep, TrialSpec, aggregate
+
+
+@pytest.fixture
+def tiny_sweep():
+    return Sweep(
+        base=TrialSpec(problem="maxcut", n=8, iterations=8, batch_size=32),
+        grid={"seed": [0, 1], "optimizer": ["sgd", "adam"]},
+    )
+
+
+class TestExpansion:
+    def test_cartesian_product(self, tiny_sweep):
+        trials = tiny_sweep.trials()
+        assert len(trials) == 4
+        combos = {(t.seed, t.optimizer) for t in trials}
+        assert combos == {(0, "sgd"), (0, "adam"), (1, "sgd"), (1, "adam")}
+
+    def test_base_fields_preserved(self, tiny_sweep):
+        for t in tiny_sweep.trials():
+            assert t.problem == "maxcut" and t.n == 8 and t.iterations == 8
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            Sweep(TrialSpec(), {"temperature": [1, 2]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep(TrialSpec(), {"seed": []})
+
+
+class TestExecution:
+    def test_sequential_run(self, tiny_sweep):
+        records = tiny_sweep.run()
+        assert len(records) == 4
+        assert all(np.isfinite(r.final_energy) for r in records)
+        assert all(r.best_cut is not None for r in records)
+        assert all(r.energy_curve.shape == (8,) for r in records)
+
+    def test_process_pool_run_matches_sequential_structure(self):
+        sweep = Sweep(
+            base=TrialSpec(problem="tim", n=6, iterations=4, batch_size=16),
+            grid={"seed": [0, 1]},
+        )
+        seq = sweep.run(workers=1)
+        par = sweep.run(workers=2)
+        # Same specs in the same order; results deterministic per spec.
+        for a, b in zip(seq, par):
+            assert a.spec == b.spec
+            assert a.final_energy == pytest.approx(b.final_energy)
+
+    def test_trial_record_metric_access(self, tiny_sweep):
+        rec = tiny_sweep.trials()[0].run()
+        assert rec.value("final_energy") == rec.final_energy
+        with pytest.raises(KeyError):
+            rec.value("loss")
+
+
+class TestAggregation:
+    def test_group_by_optimizer(self, tiny_sweep):
+        records = tiny_sweep.run()
+        table = aggregate(records, by=("optimizer",), metric="best_cut")
+        assert set(table) == {("sgd",), ("adam",)}
+        for mean, std in table.values():
+            assert mean > 0 and std >= 0
+
+    def test_mean_std_values(self, tiny_sweep):
+        records = tiny_sweep.run()
+        table = aggregate(records, by=("optimizer",), metric="final_energy")
+        for (opt,), (mean, std) in table.items():
+            vals = [r.final_energy for r in records if r.spec.optimizer == opt]
+            assert mean == pytest.approx(np.mean(vals))
+            assert std == pytest.approx(np.std(vals))
+
+    def test_none_metric_rejected(self):
+        sweep = Sweep(
+            base=TrialSpec(problem="tim", n=6, iterations=3, batch_size=16),
+            grid={"seed": [0]},
+        )
+        records = sweep.run()
+        with pytest.raises(ValueError):
+            aggregate(records, by=("n",), metric="best_cut")  # TIM has no cut

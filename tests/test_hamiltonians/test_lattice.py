@@ -1,0 +1,93 @@
+"""Lattice TFIM: bond construction and the Jordan-Wigner exact energy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exact import ground_state
+from repro.hamiltonians import LatticeTFIM, tfim_chain_exact_energy
+
+
+class TestChain:
+    def test_open_chain_bonds(self):
+        ham = LatticeTFIM((5,), periodic=False)
+        assert ham.bonds == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_periodic_chain_adds_wraparound(self):
+        ham = LatticeTFIM((5,), periodic=True)
+        assert (0, 4) in ham.bonds
+        assert len(ham.bonds) == 5
+
+    @pytest.mark.parametrize("n", [4, 6, 8, 10, 12])
+    @pytest.mark.parametrize("field", [0.3, 1.0, 2.5])
+    def test_jordan_wigner_matches_exact_diagonalisation(self, n, field):
+        ham = LatticeTFIM((n,), coupling=1.0, field=field)
+        gs = ground_state(ham)
+        jw = tfim_chain_exact_energy(n, 1.0, field)
+        assert gs.energy == pytest.approx(jw, abs=1e-9)
+
+    def test_jw_scales_to_huge_chains(self):
+        """The point of the closed form: ground truth at any size."""
+        e = tfim_chain_exact_energy(100000, 1.0, 1.0)
+        # At criticality E0/n → -4/π.
+        assert e / 100000 == pytest.approx(-4.0 / np.pi, abs=1e-8)
+
+    def test_vqmc_reaches_jw_energy(self, rng):
+        from repro.core import VQMC
+        from repro.models import MADE
+        from repro.optim import SGD, StochasticReconfiguration
+        from repro.samplers import AutoregressiveSampler
+
+        n = 8
+        ham = LatticeTFIM((n,), coupling=1.0, field=1.0)
+        model = MADE(n, hidden=16, rng=rng)
+        vqmc = VQMC(
+            model, ham, AutoregressiveSampler(),
+            SGD(model.parameters(), lr=0.1),
+            sr=StochasticReconfiguration(), seed=2,
+        )
+        vqmc.run(200, batch_size=512)
+        final = vqmc.evaluate(2048)
+        exact = tfim_chain_exact_energy(n)
+        assert abs(final.mean - exact) / abs(exact) < 0.02
+
+
+class TestGrid:
+    def test_grid_bond_count_open(self):
+        ham = LatticeTFIM((3, 4), periodic=False)
+        # open 3x4 grid: 2*4 + 3*3 = 17 bonds
+        assert len(ham.bonds) == 17
+
+    def test_grid_bond_count_periodic(self):
+        ham = LatticeTFIM((3, 4), periodic=True)
+        # torus: 2 * Lx * Ly bonds
+        assert len(ham.bonds) == 24
+
+    def test_2x2_periodic_skips_double_bonds(self):
+        # Wrap bonds on a length-2 axis would duplicate existing bonds.
+        ham = LatticeTFIM((2, 2), periodic=True)
+        assert len(set(ham.bonds)) == len(ham.bonds)
+        assert len(ham.bonds) == 4
+
+    def test_grid_ground_state_ferromagnetic_limit(self):
+        """Γ → 0: ground energy = -J × (#bonds) (all spins aligned)."""
+        ham = LatticeTFIM((2, 3), coupling=1.0, field=1e-8, periodic=False)
+        gs = ground_state(ham)
+        assert gs.energy == pytest.approx(-len(ham.bonds), abs=1e-6)
+
+
+class TestValidation:
+    def test_negative_field_rejected(self):
+        with pytest.raises(ValueError):
+            LatticeTFIM((4,), field=-1.0)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            LatticeTFIM((1,))
+        with pytest.raises(ValueError):
+            LatticeTFIM((2, 2, 2))
+        with pytest.raises(ValueError):
+            LatticeTFIM((1, 5))
+        with pytest.raises(ValueError):
+            tfim_chain_exact_energy(1)

@@ -1,0 +1,94 @@
+"""Max-Cut Hamiltonian: cut values, graph construction, paper's instances."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exact import brute_force_max_cut, ground_state
+from repro.hamiltonians import MaxCut, bernoulli_adjacency
+from tests.conftest import enumerate_states
+
+
+class TestCutValues:
+    def test_cut_equals_minus_diagonal(self, small_maxcut, rng):
+        x = (rng.random((10, 8)) < 0.5).astype(float)
+        assert np.allclose(small_maxcut.cut_value(x), -small_maxcut.diagonal(x))
+
+    def test_cut_value_by_edge_counting(self, small_maxcut):
+        states = enumerate_states(8)
+        w = small_maxcut.adjacency
+        expect = np.zeros(len(states))
+        for i in range(8):
+            for j in range(i + 1, 8):
+                expect += w[i, j] * (states[:, i] != states[:, j])
+        assert np.allclose(small_maxcut.cut_value(states), expect)
+
+    def test_empty_and_full_partitions_cut_nothing(self, small_maxcut):
+        zeros = np.zeros((1, 8))
+        ones = np.ones((1, 8))
+        assert small_maxcut.cut_value(zeros)[0] == 0.0
+        assert small_maxcut.cut_value(ones)[0] == 0.0
+
+    def test_ground_energy_is_minus_max_cut(self, small_maxcut):
+        opt, _ = brute_force_max_cut(small_maxcut.adjacency)
+        gs = ground_state(small_maxcut)
+        assert gs.energy == pytest.approx(-opt)
+
+    def test_purely_diagonal(self, small_maxcut, rng):
+        x = (rng.random((3, 8)) < 0.5).astype(float)
+        nbrs, amps = small_maxcut.connected(x)
+        assert nbrs.shape[1] == 0 and amps.shape[1] == 0
+        assert small_maxcut.sparsity == 0
+
+
+class TestConstruction:
+    def test_rejects_asymmetric(self):
+        w = np.array([[0.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(ValueError):
+            MaxCut(w)
+
+    def test_rejects_self_loops(self):
+        w = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            MaxCut(w)
+
+    def test_from_networkx_graph(self):
+        g = nx.Graph()
+        g.add_edge("a", "b", weight=2.0)
+        g.add_edge("b", "c")
+        mc = MaxCut.from_graph(g)
+        assert mc.total_weight == 3.0
+        # Best cut: separate b from {a, c} → 3.0
+        best = max(mc.cut_value(enumerate_states(3)))
+        assert best == pytest.approx(3.0)
+
+    def test_weighted_triangle(self):
+        w = np.array([[0, 1, 2], [1, 0, 3], [2, 3, 0]], dtype=float)
+        mc = MaxCut(w)
+        opt, _ = brute_force_max_cut(w)
+        assert opt == 5.0  # cut {2} vs {0,1}: 2+3
+        assert ground_state(mc).energy == pytest.approx(-5.0)
+
+
+class TestPaperInstances:
+    def test_adjacency_binary_symmetric_hollow(self):
+        w = bernoulli_adjacency(50, seed=0)
+        assert set(np.unique(w)) <= {0.0, 1.0}
+        assert np.allclose(w, w.T)
+        assert np.all(np.diag(w) == 0.0)
+
+    def test_density_matches_and_rule(self):
+        """rint((B+Bᵀ)/2) keeps an edge iff both directed flips landed heads
+        (banker's rounding sends 0.5 → 0), giving density ≈ p² = 0.25 —
+        consistent with Table 2's Random-cut row (≈|E|/2)."""
+        w = bernoulli_adjacency(500, seed=1)
+        density = np.triu(w, 1).sum() / (500 * 499 / 2)
+        assert abs(density - 0.25) < 0.02
+
+    def test_random_cut_expectation_matches_table2_scale(self):
+        """Table 2, n=500: Random ≈ 15696 ≈ half the edges of our instances."""
+        w = bernoulli_adjacency(500, seed=2)
+        expected_random_cut = np.triu(w, 1).sum() / 2.0
+        assert 14000 < expected_random_cut < 17000

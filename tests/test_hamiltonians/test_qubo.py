@@ -1,0 +1,61 @@
+"""QUBO translation: the Hamiltonian diagonal must equal the QUBO objective."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exact import brute_force_ground_state
+from repro.hamiltonians import IsingQUBO
+from tests.conftest import enumerate_states
+
+coef = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False)
+
+
+class TestTranslation:
+    def test_diagonal_equals_objective_random(self, rng):
+        n = 6
+        Q = rng.normal(size=(n, n))
+        q = rng.normal(size=n)
+        ham = IsingQUBO(Q, q, const=1.5)
+        states = enumerate_states(n)
+        assert np.allclose(ham.diagonal(states), ham.objective(states), atol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(np.float64, (4, 4), elements=coef),
+        hnp.arrays(np.float64, (4,), elements=coef),
+        coef,
+    )
+    def test_diagonal_equals_objective_hypothesis(self, Q, q, c):
+        ham = IsingQUBO(Q, q, const=c)
+        states = enumerate_states(4)
+        assert np.allclose(ham.diagonal(states), ham.objective(states), atol=1e-8)
+
+    def test_linear_only(self):
+        ham = IsingQUBO(np.zeros((3, 3)), np.array([1.0, -2.0, 3.0]))
+        states = enumerate_states(3)
+        assert np.allclose(
+            ham.diagonal(states), states @ np.array([1.0, -2.0, 3.0])
+        )
+
+    def test_no_offdiagonal_entries(self, rng):
+        ham = IsingQUBO(rng.normal(size=(4, 4)))
+        nbrs, _ = ham.connected(np.zeros((1, 4)))
+        assert nbrs.shape[1] == 0
+
+    def test_ground_state_minimises_objective(self, rng):
+        Q = rng.normal(size=(8, 8))
+        ham = IsingQUBO(Q)
+        energy, bits = brute_force_ground_state(ham)
+        states = enumerate_states(8)
+        assert energy == pytest.approx(ham.objective(states).min())
+        assert ham.objective(bits[None])[0] == pytest.approx(energy)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            IsingQUBO(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            IsingQUBO(np.zeros((2, 2)), q=np.zeros(3))

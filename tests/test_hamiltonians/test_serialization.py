@@ -1,0 +1,113 @@
+"""Instance (de)serialisation: every family must round-trip bit-exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hamiltonians import (
+    IsingQUBO,
+    LatticeTFIM,
+    MaxCut,
+    PauliStringHamiltonian,
+    PauliTerm,
+    TransverseFieldIsing,
+    ZZXHamiltonian,
+    from_dict,
+    load_instance,
+    save_instance,
+    to_dict,
+)
+from tests.conftest import enumerate_states
+
+
+def _assert_same_operator(a, b, n: int) -> None:
+    states = enumerate_states(n)
+    assert np.allclose(a.diagonal(states), b.diagonal(states), atol=1e-12)
+    na, aa = a.connected(states)
+    nb, ab = b.connected(states)
+    assert np.array_equal(na, nb)
+    assert np.allclose(aa, ab, atol=1e-12)
+
+
+class TestRoundTrips:
+    def test_tim(self):
+        ham = TransverseFieldIsing.random(6, seed=4)
+        back = from_dict(to_dict(ham))
+        assert isinstance(back, TransverseFieldIsing)
+        _assert_same_operator(ham, back, 6)
+
+    def test_zzx_with_offset(self):
+        ham = ZZXHamiltonian(
+            alpha=np.array([0.5, 0.0, 1.0]),
+            beta=np.array([-0.3, 0.2, 0.0]),
+            couplings=np.zeros((3, 3)),
+            offset=2.5,
+        )
+        back = from_dict(to_dict(ham))
+        _assert_same_operator(ham, back, 3)
+        assert back.offset == 2.5
+
+    def test_maxcut(self):
+        ham = MaxCut.random(7, seed=1)
+        back = from_dict(to_dict(ham))
+        assert isinstance(back, MaxCut)
+        states = enumerate_states(7)
+        assert np.allclose(ham.cut_value(states), back.cut_value(states))
+
+    def test_lattice(self):
+        ham = LatticeTFIM((3, 3), coupling=0.8, field=1.2, periodic=True)
+        back = from_dict(to_dict(ham))
+        assert isinstance(back, LatticeTFIM)
+        assert back.shape == (3, 3)
+        _assert_same_operator(ham, back, 9)
+
+    def test_qubo(self, rng):
+        ham = IsingQUBO(rng.normal(size=(5, 5)), rng.normal(size=5), const=1.5)
+        back = from_dict(to_dict(ham))
+        states = enumerate_states(5)
+        assert np.allclose(ham.objective(states), back.objective(states))
+
+    def test_pauli(self):
+        ham = PauliStringHamiltonian(
+            4,
+            [PauliTerm(-1.0, z_sites=(0, 1)), PauliTerm(-0.5, x_sites=(2, 3))],
+        )
+        back = from_dict(to_dict(ham))
+        _assert_same_operator(ham, back, 4)
+
+
+class TestFiles:
+    def test_save_load_file(self, tmp_path):
+        ham = TransverseFieldIsing.random(5, seed=9)
+        path = tmp_path / "instance.json"
+        save_instance(ham, path)
+        back = load_instance(path)
+        _assert_same_operator(ham, back, 5)
+
+    def test_json_is_portable_text(self, tmp_path):
+        import json
+
+        ham = MaxCut.random(4, seed=0)
+        path = tmp_path / "mc.json"
+        save_instance(ham, path)
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "maxcut"
+
+
+class TestErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            from_dict({"format": 1, "kind": "warp-drive"})
+
+    def test_bad_format_version(self):
+        with pytest.raises(ValueError):
+            from_dict({"format": 99, "kind": "maxcut"})
+
+    def test_unserialisable_type(self):
+        class Weird(ZZXHamiltonian.__mro__[1]):  # plain Hamiltonian subclass
+            def __init__(self):
+                super().__init__(2)
+
+        with pytest.raises(TypeError):
+            to_dict(Weird())

@@ -1,0 +1,143 @@
+"""End-to-end integration scenarios crossing subsystem boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import VQMC, History
+from repro.exact import ground_state
+from repro.hamiltonians import IsingQUBO, LatticeTFIM, MaxCut, TransverseFieldIsing
+from repro.models import MADE, RBM, MeanField
+from repro.optim import SGD, Adam, StochasticReconfiguration
+from repro.samplers import AutoregressiveSampler, MetropolisSampler
+from repro.utils.runlog import RunLogger
+
+
+class TestModelSamplerMatrix:
+    """Every legal (model, sampler) pairing runs through the full pipeline."""
+
+    @pytest.mark.parametrize(
+        "model_cls,sampler_cls",
+        [
+            (MADE, AutoregressiveSampler),
+            (MADE, MetropolisSampler),  # ablation pairing
+            (MeanField, AutoregressiveSampler),
+            (RBM, MetropolisSampler),
+        ],
+    )
+    def test_pairing_trains(self, model_cls, sampler_cls, small_tim, rng):
+        model = model_cls(6, rng=rng)
+        sampler = (
+            sampler_cls()
+            if sampler_cls is AutoregressiveSampler
+            else sampler_cls(n_chains=2, burn_in=50)
+        )
+        vqmc = VQMC(model, small_tim, sampler, Adam(model.parameters()), seed=1)
+        first = vqmc.step(batch_size=128).stats.mean
+        vqmc.run(40, batch_size=128)
+        final = vqmc.evaluate(512).mean
+        assert final < first + 0.5  # training does not regress
+
+
+class TestHamiltonianMatrix:
+    """Every Hamiltonian type optimises with the default stack."""
+
+    @pytest.mark.parametrize(
+        "make_ham",
+        [
+            lambda: TransverseFieldIsing.random(7, seed=1),
+            lambda: MaxCut.random(7, seed=2),
+            lambda: IsingQUBO(np.random.default_rng(3).normal(size=(7, 7))),
+            lambda: LatticeTFIM((7,), field=0.8),
+        ],
+    )
+    def test_energy_approaches_ground_state(self, make_ham, rng):
+        ham = make_ham()
+        model = MADE(7, hidden=14, rng=rng)
+        vqmc = VQMC(
+            model, ham, AutoregressiveSampler(),
+            SGD(model.parameters(), lr=0.1),
+            sr=StochasticReconfiguration(), seed=4,
+        )
+        vqmc.run(120, batch_size=256)
+        exact = ground_state(ham).energy
+        final = vqmc.evaluate(1024).mean
+        gap = abs(final - exact) / max(abs(exact), 1.0)
+        assert gap < 0.08, f"{type(ham).__name__}: {final} vs exact {exact}"
+
+
+class TestRunLogger:
+    def test_logs_structured_records(self, small_tim, rng, tmp_path):
+        model = MADE(6, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(), Adam(model.parameters()),
+            seed=1,
+        )
+        log = tmp_path / "run.jsonl"
+        vqmc.run(5, batch_size=32, callbacks=[RunLogger(log, meta={"tag": "it"})])
+        records = RunLogger.read(log)
+        assert records[0]["event"] == "run_begin"
+        assert records[0]["tag"] == "it"
+        assert records[0]["model"] == "MADE"
+        steps = [r for r in records if r["event"] == "step"]
+        assert len(steps) == 5
+        assert all(np.isfinite(s["energy"]) for s in steps)
+        assert records[-1]["event"] == "run_end"
+        assert records[-1]["global_step"] == 5
+
+    def test_appends_across_runs(self, small_tim, rng, tmp_path):
+        model = MADE(6, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(), Adam(model.parameters()),
+            seed=1,
+        )
+        log = tmp_path / "run.jsonl"
+        vqmc.run(2, batch_size=16, callbacks=[RunLogger(log)])
+        vqmc.run(3, batch_size=16, callbacks=[RunLogger(log)])
+        records = RunLogger.read(log)
+        assert sum(r["event"] == "run_begin" for r in records) == 2
+        assert sum(r["event"] == "step" for r in records) == 5
+
+
+class TestCrossValidation:
+    def test_sr_fisher_agrees_with_mean_field_closed_form(self, rng):
+        """The SR machinery, fed a MeanField's per-sample scores over a large
+        exact-sampled batch, must recover the closed-form Fisher matrix."""
+        from repro.optim.sr import StochasticReconfiguration as SR
+
+        mf = MeanField(5, rng=rng)
+        mf.logits.data[...] = rng.normal(0, 0.8, size=5)
+        x = mf.sample(300000, rng)
+        _, o = mf.log_psi_and_grads(x)
+        s_emp = SR.fisher_matrix(o)
+        assert np.allclose(s_emp, mf.exact_fisher(), atol=2e-3)
+
+    def test_history_energy_matches_runlog(self, small_tim, rng, tmp_path):
+        model = MADE(6, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(), Adam(model.parameters()),
+            seed=1,
+        )
+        hist = History()
+        log = tmp_path / "r.jsonl"
+        vqmc.run(4, batch_size=32, callbacks=[hist, RunLogger(log)])
+        steps = [r for r in RunLogger.read(log) if r["event"] == "step"]
+        assert np.allclose([s["energy"] for s in steps], hist.energy)
+
+    def test_two_exact_solvers_and_vqmc_triangle(self, rng):
+        """eigsh, our Lanczos and VQMC agree on the same instance."""
+        from repro.exact import lanczos_ground_state
+
+        ham = TransverseFieldIsing.random(8, seed=11)
+        e1 = ground_state(ham).energy
+        e2 = lanczos_ground_state(ham).energy
+        assert e1 == pytest.approx(e2, abs=1e-8)
+        model = MADE(8, hidden=20, rng=rng)
+        vqmc = VQMC(
+            model, ham, AutoregressiveSampler(),
+            SGD(model.parameters(), lr=0.1),
+            sr=StochasticReconfiguration(), seed=5,
+        )
+        vqmc.run(150, batch_size=512)
+        assert vqmc.evaluate(2048).mean == pytest.approx(e1, abs=0.25)

@@ -1,0 +1,67 @@
+"""Hypothesis property tests for the Riemannian geometry primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.manifolds import ObliqueManifold
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.integers(1, 6), st.integers(0, 10**6))
+def test_projection_is_idempotent_and_tangent(p, n, seed):
+    mani = ObliqueManifold(p, n)
+    rng = np.random.default_rng(seed)
+    v = mani.random_point(rng)
+    u = rng.normal(size=(p, n))
+    proj = mani.proj(v, u)
+    # Tangent: columnwise orthogonal to the point.
+    assert np.allclose((v * proj).sum(axis=0), 0.0, atol=1e-10)
+    # Idempotent.
+    assert np.allclose(mani.proj(v, proj), proj, atol=1e-12)
+    # Contraction: a projection never increases the norm.
+    assert np.linalg.norm(proj) <= np.linalg.norm(u) + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.integers(1, 6), st.integers(0, 10**6))
+def test_retraction_properties(p, n, seed):
+    mani = ObliqueManifold(p, n)
+    rng = np.random.default_rng(seed)
+    v = mani.random_point(rng)
+    xi = mani.random_tangent(v, rng)
+    # R_v(0) = v.
+    assert np.allclose(mani.retract(v, np.zeros_like(xi)), v, atol=1e-12)
+    # Stays on the manifold for any step length.
+    for t in (1e-3, 0.5, 3.0):
+        mani.check_point(mani.retract(v, t * xi))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.integers(1, 6), st.integers(0, 10**6))
+def test_rgrad_is_tangent_projection_of_egrad(p, n, seed):
+    mani = ObliqueManifold(p, n)
+    rng = np.random.default_rng(seed)
+    v = mani.random_point(rng)
+    egrad = rng.normal(size=(p, n))
+    rgrad = mani.egrad_to_rgrad(v, egrad)
+    assert np.allclose(rgrad, mani.proj(v, egrad), atol=1e-12)
+    # The removed component is purely radial.
+    radial = egrad - rgrad
+    for j in range(n):
+        col = radial[:, j]
+        if np.linalg.norm(col) > 1e-12:
+            cosine = abs(col @ v[:, j]) / np.linalg.norm(col)
+            assert cosine > 1.0 - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 5), st.integers(1, 4), st.integers(0, 10**6))
+def test_random_tangent_is_unit_tangent(p, n, seed):
+    mani = ObliqueManifold(p, n)
+    rng = np.random.default_rng(seed)
+    v = mani.random_point(rng)
+    xi = mani.random_tangent(v, rng)
+    assert abs(mani.norm(xi) - 1.0) < 1e-9
+    assert np.allclose((v * xi).sum(axis=0), 0.0, atol=1e-10)

@@ -1,0 +1,92 @@
+"""Mean-field wavefunction: closed forms and the NES equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.nes import NaturalEvolutionStrategies
+from repro.core.energy import grad_from_per_sample, local_energies
+from repro.models import MeanField
+
+
+@pytest.fixture
+def mf(rng):
+    m = MeanField(6, rng=rng)
+    m.logits.data[...] = rng.normal(0.0, 0.7, size=6)
+    return m
+
+
+class TestMeanField:
+    def test_normalised(self, mf):
+        assert mf.exact_distribution().sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_log_prob_closed_form(self, mf, rng):
+        x = (rng.random((8, 6)) < 0.5).astype(float)
+        p = mf.probabilities()
+        expect = (x * np.log(p) + (1 - x) * np.log(1 - p)).sum(axis=1)
+        assert np.allclose(mf.log_prob(x).data, expect, atol=1e-10)
+
+    def test_autograd_matches_per_sample(self, mf, rng):
+        x = (rng.random((4, 6)) < 0.5).astype(float)
+        _, o = mf.log_psi_and_grads(x)
+        for b in range(4):
+            mf.zero_grad()
+            mf.log_psi(x[b : b + 1]).sum().backward()
+            assert np.allclose(o[b], mf.flat_grad(), atol=1e-12)
+
+    def test_score_is_half_centred_x(self, mf, rng):
+        x = (rng.random((5, 6)) < 0.5).astype(float)
+        _, o = mf.log_psi_and_grads(x)
+        assert np.allclose(o, 0.5 * (x - mf.probabilities()), atol=1e-12)
+
+    def test_sampling_matches_probabilities(self, mf, rng):
+        x = mf.sample(40000, rng)
+        assert np.allclose(x.mean(axis=0), mf.probabilities(), atol=0.01)
+
+    def test_exact_fisher_is_population_covariance(self, mf, rng):
+        """S = ¼ diag(p(1−p)) equals cov of the per-sample score under π."""
+        x = mf.sample(200000, rng)
+        _, o = mf.log_psi_and_grads(x)
+        oc = o - o.mean(axis=0)
+        empirical = oc.T @ oc / x.shape[0]
+        assert np.allclose(empirical, mf.exact_fisher(), atol=2e-3)
+
+
+class TestNESEquivalence:
+    def test_vqmc_gradient_equals_nes_gradient(self, mf, rng, small_maxcut):
+        """Paper §2.4: VQMC on a diagonal H with a mean-field ansatz *is*
+        NES — gradients agree sample-for-sample, not just in expectation."""
+        mf8 = MeanField(8, rng=rng)
+        x = mf8.sample(64, rng)
+        local = local_energies(mf8, small_maxcut, x)
+        _, o = mf8.log_psi_and_grads(x)
+        g_vqmc = grad_from_per_sample(o, local)
+        g_nes = NaturalEvolutionStrategies(natural=False).gradient(
+            mf8.logits.data, x, local
+        )
+        assert np.allclose(g_vqmc, g_nes, atol=1e-14)
+
+    def test_nes_solves_small_maxcut(self, small_maxcut):
+        from repro.exact import brute_force_max_cut
+
+        opt, _ = brute_force_max_cut(small_maxcut.adjacency)
+        res = NaturalEvolutionStrategies(lr=0.5, batch_size=128).minimize(
+            lambda x: small_maxcut.diagonal(x), 8, iterations=150, seed=5
+        )
+        assert -res.best_value == pytest.approx(opt)
+
+    def test_natural_preconditioning_accelerates(self, small_maxcut):
+        def run(natural):
+            res = NaturalEvolutionStrategies(
+                lr=0.2, batch_size=128, natural=natural
+            ).minimize(lambda x: small_maxcut.diagonal(x), 8, iterations=60, seed=1)
+            return np.mean(res.mean_values[-10:])
+
+        assert run(True) <= run(False) + 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NaturalEvolutionStrategies(lr=0.0)
+        with pytest.raises(ValueError):
+            NaturalEvolutionStrategies(batch_size=1)

@@ -1,0 +1,100 @@
+"""RNN wavefunction (paper ref. [18]): normalisation, exact sampling,
+backprop-through-time per-sample gradients, end-to-end training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import RNNWaveFunction
+from repro.samplers import AutoregressiveSampler
+from repro.samplers.diagnostics import total_variation_distance
+
+
+@pytest.fixture
+def rnn(rng):
+    model = RNNWaveFunction(5, hidden=7, rng=rng)
+    # Push away from init so conditionals are non-trivial.
+    for p in model.parameters():
+        p.data += rng.normal(size=p.shape) * 0.4
+    return model
+
+
+class TestStructure:
+    def test_normalised(self, rnn):
+        assert rnn.exact_distribution().sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_parameter_count_independent_of_n(self, rng):
+        small = RNNWaveFunction(5, hidden=8, rng=rng)
+        large = RNNWaveFunction(500, hidden=8, rng=rng)
+        assert small.num_parameters() == large.num_parameters()
+
+    def test_numpy_and_tape_recurrences_agree(self, rnn, rng):
+        x = (rng.random((6, 5)) < 0.5).astype(float)
+        _, _, z_np = rnn._forward_states(x)
+        z_tape = rnn.logits(x).data
+        assert np.allclose(z_np, z_tape, atol=1e-12)
+
+    def test_autoregressive_property(self, rnn, rng):
+        """Conditional i must not depend on x_{≥i} (causality of the RNN)."""
+        x = (rng.random((1, 5)) < 0.5).astype(float)
+        base = rnn.conditionals(x)
+        for i in range(5):
+            x2 = x.copy()
+            x2[0, i:] = 1.0 - x2[0, i:]
+            assert np.allclose(rnn.conditionals(x2)[0, i], base[0, i]), f"site {i}"
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            RNNWaveFunction(5, hidden=0, rng=rng)
+
+
+class TestSampling:
+    def test_exact_sampling(self, rnn, rng):
+        x = rnn.sample(30000, rng)
+        codes = (x @ (2 ** np.arange(4, -1, -1))).astype(int)
+        tv = total_variation_distance(codes, rnn.exact_distribution())
+        assert tv < 0.03
+
+    def test_sampler_integration(self, rnn, rng):
+        x = AutoregressiveSampler().sample(rnn, 64, rng)
+        assert x.shape == (64, 5)
+
+
+class TestBPTT:
+    def test_per_sample_grads_match_autograd(self, rnn, rng):
+        x = (rng.random((4, 5)) < 0.5).astype(float)
+        lp_manual, o = rnn.log_psi_and_grads(x)
+        assert np.allclose(lp_manual, rnn.log_psi(x).data, atol=1e-10)
+        assert o.shape == (4, rnn.num_parameters())
+        for b in range(4):
+            rnn.zero_grad()
+            rnn.log_psi(x[b : b + 1]).sum().backward()
+            assert np.allclose(o[b], rnn.flat_grad(), atol=1e-9), f"sample {b}"
+
+    def test_longer_sequences_stay_consistent(self, rng):
+        model = RNNWaveFunction(12, hidden=5, rng=rng)
+        x = (rng.random((2, 12)) < 0.5).astype(float)
+        _, o = model.log_psi_and_grads(x)
+        for b in range(2):
+            model.zero_grad()
+            model.log_psi(x[b : b + 1]).sum().backward()
+            assert np.allclose(o[b], model.flat_grad(), atol=1e-8)
+
+
+class TestTraining:
+    def test_reaches_ground_state_with_sr(self, small_tim, rng):
+        from repro.core import VQMC
+        from repro.exact import ground_state
+        from repro.optim import SGD, StochasticReconfiguration
+
+        model = RNNWaveFunction(6, hidden=16, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(),
+            SGD(model.parameters(), lr=0.05),
+            sr=StochasticReconfiguration(), seed=2,
+        )
+        vqmc.run(250, batch_size=256)
+        exact = ground_state(small_tim).energy
+        final = vqmc.evaluate(1024)
+        assert abs(final.mean - exact) / abs(exact) < 0.05

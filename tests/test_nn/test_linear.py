@@ -1,0 +1,72 @@
+"""Linear / MaskedLinear layer behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, MaskedLinear
+from repro.tensor import Tensor, gradcheck
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer(Tensor(x)).data
+        assert np.allclose(out, x @ layer.weight.data.T + layer.bias.data)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        x = rng.normal(size=(2, 4))
+        assert np.allclose(layer(Tensor(x)).data, x @ layer.weight.data.T)
+
+    def test_gradcheck_through_layer(self, rng):
+        layer = Linear(3, 2, rng=rng)
+
+        def f(w, b, x):
+            from repro.tensor import functional as F
+
+            return F.linear(x, w, b).tanh()
+
+        assert gradcheck(
+            f, [layer.weight.data, layer.bias.data, rng.normal(size=(4, 3))]
+        )
+
+    def test_weight_std_init(self, rng):
+        layer = Linear(100, 100, rng=rng, weight_std=0.01)
+        assert abs(layer.weight.data.std() - 0.01) < 0.002
+
+    def test_repr(self, rng):
+        assert "Linear(4, 3" in repr(Linear(4, 3, rng=rng))
+
+
+class TestMaskedLinear:
+    def test_mask_blocks_connections(self, rng):
+        mask = np.zeros((3, 4))
+        mask[0, 0] = 1.0
+        layer = MaskedLinear(4, 3, mask, rng=rng, bias=False)
+        x = rng.normal(size=(2, 4))
+        out = layer(Tensor(x)).data
+        assert np.allclose(out[:, 1:], 0.0)
+        assert np.allclose(out[:, 0], x[:, 0] * layer.weight.data[0, 0])
+
+    def test_masked_weights_get_zero_gradient(self, rng):
+        mask = (rng.random((3, 4)) < 0.5).astype(float)
+        layer = MaskedLinear(4, 3, mask, rng=rng)
+        layer(Tensor(rng.normal(size=(5, 4)))).sum().backward()
+        assert np.allclose(layer.weight.grad[mask == 0.0], 0.0)
+
+    def test_mask_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            MaskedLinear(4, 3, np.ones((4, 3)), rng=rng)
+
+    def test_effective_weight(self, rng):
+        mask = np.eye(3)
+        layer = MaskedLinear(3, 3, mask, rng=rng)
+        assert np.allclose(layer.effective_weight(), layer.weight.data * mask)
+
+    def test_repr_counts_live_weights(self, rng):
+        layer = MaskedLinear(4, 3, np.ones((3, 4)), rng=rng)
+        assert "12/12" in repr(layer)

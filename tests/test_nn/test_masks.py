@@ -1,0 +1,66 @@
+"""MADE mask construction: the autoregressive property must hold exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.masks import check_autoregressive, hidden_degrees, made_masks
+
+
+class TestDegrees:
+    def test_cycle_covers_all_degrees(self):
+        deg = hidden_degrees(5, 12)
+        assert set(deg) == {1, 2, 3, 4}
+
+    def test_random_requires_rng(self):
+        with pytest.raises(ValueError):
+            hidden_degrees(5, 4, strategy="random")
+
+    def test_random_in_range(self, rng):
+        deg = hidden_degrees(6, 100, rng=rng, strategy="random")
+        assert deg.min() >= 1 and deg.max() <= 5
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            hidden_degrees(5, 4, strategy="???")
+
+    def test_n_one_is_degenerate_but_valid(self):
+        m1, m2 = made_masks(1, 4)
+        check_autoregressive((m1, m2))
+        # Output 1 must be connected to nothing.
+        assert (m2 @ m1).sum() == 0
+
+
+class TestMasks:
+    @pytest.mark.parametrize("n,h", [(2, 1), (3, 5), (8, 16), (20, 7), (50, 100)])
+    def test_autoregressive_property(self, n, h):
+        check_autoregressive(made_masks(n, h))
+
+    def test_check_rejects_violation(self):
+        m1 = np.ones((2, 3))
+        m2 = np.ones((3, 2))
+        with pytest.raises(ValueError):
+            check_autoregressive((m1, m2))
+
+    def test_first_output_disconnected(self):
+        m1, m2 = made_masks(6, 20)
+        conn = m2 @ m1
+        assert np.all(conn[0] == 0)
+
+    def test_last_output_sees_all_but_last_input(self):
+        m1, m2 = made_masks(6, 24)
+        conn = (m2 @ m1) > 0
+        assert conn[5, :5].all()
+        assert not conn[5, 5]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 12), st.integers(1, 40))
+    def test_autoregressive_property_hypothesis(self, n, h):
+        m1, m2 = made_masks(n, h)
+        conn = (m2 @ m1) > 0
+        assert not np.any(np.triu(conn))  # upper triangle incl. diagonal empty
+
+    def test_random_strategy_also_autoregressive(self, rng):
+        check_autoregressive(made_masks(9, 30, rng=rng, strategy="random"))

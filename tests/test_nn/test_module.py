@@ -1,0 +1,115 @@
+"""Module/Parameter registry, state dicts, flat views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter
+
+
+class TwoLayer(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=rng)
+        self.fc2 = Linear(8, 2, rng=rng)
+        self.scale = Parameter(np.ones(1), name="scale")
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+@pytest.fixture
+def model(rng):
+    return TwoLayer(rng)
+
+
+class TestRegistry:
+    def test_named_parameters_order_is_deterministic(self, model):
+        names = [n for n, _ in model.named_parameters()]
+        assert names == [
+            "scale",
+            "fc1.weight",
+            "fc1.bias",
+            "fc2.weight",
+            "fc2.bias",
+        ]
+
+    def test_num_parameters(self, model):
+        assert model.num_parameters() == 1 + (4 * 8 + 8) + (8 * 2 + 2)
+
+    def test_zero_grad_clears_all(self, model, rng):
+        from repro.tensor import Tensor
+
+        x = Tensor(rng.normal(size=(3, 4)))
+        model(x).sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, model, rng):
+        state = model.state_dict()
+        for p in model.parameters():
+            p.data += 1.0
+        model.load_state_dict(state)
+        for name, p in model.named_parameters():
+            assert np.array_equal(p.data, state[name])
+
+    def test_state_dict_is_a_copy(self, model):
+        state = model.state_dict()
+        state["scale"][0] = 99.0
+        assert model.scale.data[0] != 99.0
+
+    def test_missing_key_raises(self, model):
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, model):
+        state = model.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, model):
+        state = model.state_dict()
+        state["scale"] = np.zeros(2)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestFlatViews:
+    def test_flat_parameters_roundtrip(self, model, rng):
+        flat = model.flat_parameters()
+        assert flat.size == model.num_parameters()
+        new = rng.normal(size=flat.size)
+        model.set_flat_parameters(new)
+        assert np.allclose(model.flat_parameters(), new)
+
+    def test_set_flat_parameters_size_check(self, model):
+        with pytest.raises(ValueError):
+            model.set_flat_parameters(np.zeros(3))
+
+    def test_flat_grad_zeros_for_missing(self, model):
+        g = model.flat_grad()
+        assert np.array_equal(g, np.zeros(model.num_parameters()))
+
+    def test_flat_grad_matches_backward(self, model, rng):
+        from repro.tensor import Tensor
+
+        x = Tensor(rng.normal(size=(3, 4)))
+        model(x).sum().backward()
+        flat = model.flat_grad()
+        offset = 0
+        for p in model.parameters():
+            seg = flat[offset : offset + p.size].reshape(p.shape)
+            assert np.allclose(seg, p.grad if p.grad is not None else 0.0)
+            offset += p.size
+
+    def test_set_flat_grad(self, model, rng):
+        g = rng.normal(size=model.num_parameters())
+        model.set_flat_grad(g)
+        assert np.allclose(model.flat_grad(), g)

@@ -1,0 +1,58 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, ReLU, Sequential
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def net(rng):
+    return Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+
+
+class TestSequential:
+    def test_forward_composes(self, net, rng):
+        x = rng.normal(size=(3, 4))
+        manual = net[2](net[1](net[0](Tensor(x)))).data
+        assert np.allclose(net(Tensor(x)).data, manual)
+
+    def test_parameters_collected_in_order(self, net):
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+
+    def test_len_iter_getitem(self, net):
+        assert len(net) == 3
+        assert isinstance(net[1], ReLU)
+        assert isinstance(net[-1], Linear)
+        assert len(list(net)) == 3
+        with pytest.raises(IndexError):
+            net[3]
+
+    def test_backward_reaches_all_layers(self, net, rng):
+        net(Tensor(rng.normal(size=(2, 4)))).sum().backward()
+        assert all(p.grad is not None for p in net.parameters())
+
+    def test_rejects_non_modules(self):
+        with pytest.raises(TypeError):
+            Sequential(lambda x: x)
+
+    def test_trains_on_regression(self, rng):
+        """Tiny end-to-end check: fit y = x·w with MSE."""
+        from repro.optim import Adam
+
+        net = Sequential(Linear(3, 16, rng=rng), ReLU(), Linear(16, 1, rng=rng))
+        w_true = np.array([1.0, -2.0, 0.5])
+        x = rng.normal(size=(256, 3))
+        y = (x @ w_true)[:, None]
+        opt = Adam(net.parameters(), lr=0.01)
+        for _ in range(300):
+            net.zero_grad()
+            pred = net(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2.0).mean()
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < 0.05

@@ -1,0 +1,93 @@
+"""RMSprop and AdaGrad against hand-rolled references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import AdaGrad, RMSprop
+
+
+class TestRMSprop:
+    def test_matches_reference(self, rng):
+        theta = rng.normal(size=5)
+        grads = rng.normal(size=(15, 5))
+        p = Parameter(theta.copy())
+        opt = RMSprop([p], lr=0.02, alpha=0.9, eps=1e-8)
+        v = np.zeros(5)
+        ref = theta.copy()
+        for g in grads:
+            p.grad = g.copy()
+            opt.step()
+            v = 0.9 * v + 0.1 * g**2
+            ref -= 0.02 * g / (np.sqrt(v) + 1e-8)
+        assert np.allclose(p.data, ref, atol=1e-12)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([4.0]))
+        opt = RMSprop([p], lr=0.05)
+        for _ in range(500):
+            p.grad = 2.0 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_state_roundtrip(self):
+        p = Parameter(np.ones(3))
+        opt = RMSprop([p], lr=0.01)
+        p.grad = np.ones(3)
+        opt.step()
+        opt2 = RMSprop([p], lr=0.5)
+        opt2.load_state_dict(opt.state_dict())
+        assert opt2.lr == 0.01
+        assert np.allclose(opt2._v[0], opt._v[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RMSprop([Parameter(np.ones(1))], alpha=1.0)
+
+
+class TestAdaGrad:
+    def test_matches_reference(self, rng):
+        theta = rng.normal(size=4)
+        grads = rng.normal(size=(10, 4))
+        p = Parameter(theta.copy())
+        opt = AdaGrad([p], lr=0.1, eps=1e-10)
+        g2 = np.zeros(4)
+        ref = theta.copy()
+        for g in grads:
+            p.grad = g.copy()
+            opt.step()
+            g2 += g**2
+            ref -= 0.1 * g / (np.sqrt(g2) + 1e-10)
+        assert np.allclose(p.data, ref, atol=1e-12)
+
+    def test_steps_shrink_over_time(self):
+        p = Parameter(np.array([1.0]))
+        opt = AdaGrad([p], lr=0.1)
+        deltas = []
+        for _ in range(5):
+            before = p.data.copy()
+            p.grad = np.array([1.0])
+            opt.step()
+            deltas.append(abs(p.data[0] - before[0]))
+        assert all(b < a for a, b in zip(deltas, deltas[1:]))
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.array([2.0]))
+        AdaGrad([p]).step()
+        assert p.data[0] == 2.0
+
+    def test_trains_vqmc(self, small_tim, rng):
+        from repro.core import VQMC
+        from repro.models import MADE
+        from repro.samplers import AutoregressiveSampler
+
+        model = MADE(6, rng=rng)
+        vqmc = VQMC(
+            model, small_tim, AutoregressiveSampler(),
+            AdaGrad(model.parameters(), lr=0.2), seed=1,
+        )
+        first = vqmc.step(batch_size=128).stats.mean
+        vqmc.run(60, batch_size=128)
+        assert vqmc.evaluate(512).mean < first

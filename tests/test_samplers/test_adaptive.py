@@ -1,0 +1,77 @@
+"""Adaptive (R̂-controlled) burn-in sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import RBM
+from repro.samplers import AdaptiveBurnInSampler
+from repro.samplers.diagnostics import total_variation_distance
+
+
+@pytest.fixture
+def rbm(rng):
+    return RBM(5, hidden=4, rng=rng, init_std=0.4)
+
+
+class TestAdaptiveBurnIn:
+    def test_samples_correct_distribution(self, rbm, rng):
+        sampler = AdaptiveBurnInSampler(n_chains=4, rhat_threshold=1.05,
+                                        check_every=100)
+        x = sampler.sample(rbm, 20000, rng)
+        codes = (x @ (2 ** np.arange(4, -1, -1))).astype(int)
+        tv = total_variation_distance(codes, rbm.exact_distribution())
+        assert tv < 0.05
+
+    def test_reports_burn_in_and_rhat(self, rbm, rng):
+        sampler = AdaptiveBurnInSampler(n_chains=4, check_every=50)
+        sampler.sample(rbm, 64, rng)
+        assert sampler.burn_in_used is not None
+        assert sampler.burn_in_used % 50 == 0
+        assert sampler.final_rhat is not None
+        extras = sampler.last_stats.extras
+        assert extras["burn_in_used"] == sampler.burn_in_used
+        assert not extras["capped"]
+
+    def test_easy_target_burns_in_fast(self, rng):
+        """A near-uniform |ψ|² mixes immediately — one adaptation round."""
+        easy = RBM(5, hidden=4, rng=rng, init_std=1e-4)
+        sampler = AdaptiveBurnInSampler(n_chains=4, check_every=50)
+        sampler.sample(easy, 32, rng)
+        assert sampler.burn_in_used == 50
+
+    def test_cap_flag_when_chains_frozen_apart(self, rng):
+        """Chains frozen in different modes (huge couplings → acceptance 0,
+        within-chain variance 0, between-chain variance > 0) give R̂ = ∞;
+        the sampler must stop at the cap and flag it."""
+        rbm = RBM(6, hidden=5, rng=rng, init_std=50.0)
+        sampler = AdaptiveBurnInSampler(
+            n_chains=4, rhat_threshold=1.01, check_every=50, max_burn_in=100
+        )
+        sampler.sample(rbm, 16, rng)
+        assert sampler.burn_in_used == 100
+        assert sampler.last_stats.extras["capped"]
+        assert not np.isfinite(sampler.final_rhat) or sampler.final_rhat > 1.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveBurnInSampler(n_chains=1)
+        with pytest.raises(ValueError):
+            AdaptiveBurnInSampler(rhat_threshold=0.9)
+        with pytest.raises(ValueError):
+            AdaptiveBurnInSampler(check_every=5)
+
+    def test_vqmc_integration(self, small_tim, rng):
+        from repro.core import VQMC
+        from repro.optim import Adam
+
+        model = RBM(6, rng=rng)
+        vqmc = VQMC(
+            model, small_tim,
+            AdaptiveBurnInSampler(n_chains=4, check_every=50),
+            Adam(model.parameters(), lr=0.02), seed=4,
+        )
+        first = vqmc.step(batch_size=128).stats.mean
+        vqmc.run(25, batch_size=128)
+        assert vqmc.evaluate(256).mean < first + 0.5

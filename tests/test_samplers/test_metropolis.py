@@ -1,0 +1,130 @@
+"""Metropolis–Hastings sampler: detailed balance, convergence, schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import RBM, MADE
+from repro.samplers import MetropolisSampler, default_burn_in
+from repro.samplers.diagnostics import total_variation_distance
+
+
+@pytest.fixture
+def rbm(rng):
+    m = RBM(4, hidden=3, rng=rng, init_std=0.4)
+    return m
+
+
+class TestCorrectness:
+    def test_converges_to_born_distribution(self, rbm, rng):
+        """Long chains must sample |ψ|²/Z (asymptotic exactness)."""
+        target = rbm.exact_distribution()
+        sampler = MetropolisSampler(n_chains=4, burn_in=500, thin=2)
+        x = sampler.sample(rbm, 20000, rng)
+        codes = (x @ (2 ** np.arange(3, -1, -1))).astype(int)
+        tv = total_variation_distance(codes, target)
+        assert tv < 0.05
+
+    def test_detailed_balance_on_enumerable_space(self, rbm, rng):
+        """Empirical transition flux i→j vs j→i on a tiny chain."""
+        # Run one chain, record transitions.
+        sampler = MetropolisSampler(n_chains=1, burn_in=200, thin=1)
+        x = sampler.sample(rbm, 40000, rng)
+        codes = (x @ (2 ** np.arange(3, -1, -1))).astype(int)
+        flux = np.zeros((16, 16))
+        np.add.at(flux, (codes[:-1], codes[1:]), 1.0)
+        # π_i P_ij = π_j P_ji ⇒ symmetric empirical flux (up to noise).
+        sym_err = np.abs(flux - flux.T) / (flux + flux.T + 1.0)
+        assert sym_err.max() < 0.35  # loose: Monte-Carlo noise
+
+    def test_acceptance_rate_sane(self, rbm, rng):
+        sampler = MetropolisSampler(n_chains=2)
+        sampler.sample(rbm, 256, rng)
+        acc = sampler.last_stats.acceptance_rate
+        assert 0.05 < acc <= 1.0
+
+    def test_works_with_made_too(self, rng):
+        """MCMC is model-agnostic — MADE+MCMC is a valid (ablation) pairing."""
+        made = MADE(4, hidden=6, rng=rng)
+        sampler = MetropolisSampler(n_chains=2, burn_in=200)
+        x = sampler.sample(made, 5000, rng)
+        codes = (x @ (2 ** np.arange(3, -1, -1))).astype(int)
+        tv = total_variation_distance(codes, made.exact_distribution())
+        assert tv < 0.08
+
+
+class TestCostModel:
+    def test_default_burn_in_is_papers(self):
+        assert default_burn_in(100) == 400
+        assert default_burn_in(500) == 1600
+
+    def test_forward_passes_match_prediction(self, rbm, rng):
+        sampler = MetropolisSampler(n_chains=2, burn_in=50, thin=3)
+        sampler.sample(rbm, 100, rng)
+        assert sampler.last_stats.forward_passes == sampler.predicted_forward_passes(
+            rbm.n, 100
+        )
+
+    def test_more_chains_fewer_collection_steps(self, rbm, rng):
+        s1 = MetropolisSampler(n_chains=1, burn_in=10)
+        s4 = MetropolisSampler(n_chains=4, burn_in=10)
+        s1.sample(rbm, 64, rng)
+        f1 = s1.last_stats.forward_passes
+        s4.sample(rbm, 64, rng)
+        f4 = s4.last_stats.forward_passes
+        assert f4 < f1
+
+
+class TestSchemes:
+    def test_scheme1_burn_in_values(self, rbm, rng):
+        """§6.2 Scheme 1: discard the first {n, 10n} samples."""
+        for k in (rbm.n, 10 * rbm.n):
+            sampler = MetropolisSampler(n_chains=2, burn_in=k)
+            sampler.sample(rbm, 32, rng)
+            assert sampler.burn_in_steps(rbm.n) == k
+
+    def test_scheme2_thinning(self, rbm, rng):
+        """§6.2 Scheme 2: keep every {2,5,10}-th sample."""
+        base = MetropolisSampler(n_chains=2, burn_in=10, thin=1)
+        base.sample(rbm, 64, rng)
+        f_base = base.last_stats.forward_passes
+        for j in (2, 5, 10):
+            s = MetropolisSampler(n_chains=2, burn_in=10, thin=j)
+            s.sample(rbm, 64, rng)
+            assert s.last_stats.forward_passes - 10 - 1 == j * (
+                f_base - 10 - 1
+            )
+
+    def test_persistent_chains_skip_burn_in(self, rbm, rng):
+        sampler = MetropolisSampler(n_chains=2, burn_in=100, persistent=True)
+        sampler.sample(rbm, 16, rng)
+        first = sampler.last_stats.forward_passes
+        sampler.sample(rbm, 16, rng)
+        second = sampler.last_stats.forward_passes
+        assert second < first  # no burn-in, no init pass on the second call
+
+    def test_reset_forgets_state(self, rbm, rng):
+        sampler = MetropolisSampler(n_chains=2, burn_in=50, persistent=True)
+        sampler.sample(rbm, 16, rng)
+        sampler.reset()
+        sampler.sample(rbm, 16, rng)
+        assert sampler.last_stats.forward_passes > 50
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MetropolisSampler(n_chains=0)
+        with pytest.raises(ValueError):
+            MetropolisSampler(thin=0)
+        with pytest.raises(ValueError):
+            MetropolisSampler(burn_in=-5).burn_in_steps(4)
+
+    def test_bad_batch_size(self, rbm, rng):
+        with pytest.raises(ValueError):
+            MetropolisSampler().sample(rbm, 0, rng)
+
+    def test_batch_not_multiple_of_chains(self, rbm, rng):
+        x = MetropolisSampler(n_chains=3, burn_in=5).sample(rbm, 10, rng)
+        assert x.shape == (10, 4)

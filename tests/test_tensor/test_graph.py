@@ -1,0 +1,72 @@
+"""Computation-graph inspection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.tensor.graph import graph_nodes, graph_size, to_dot
+
+
+class TestGraphWalk:
+    def test_counts_nodes(self):
+        x = Tensor(np.ones(3), requires_grad=True, name="x")
+        y = Tensor(np.ones(3), requires_grad=True, name="y")
+        z = (x * y + x).sum()
+        # nodes: x, y, x*y, x*y+x, sum — 5
+        assert graph_size(z) == 5
+
+    def test_topological_order(self):
+        x = Tensor(1.0, requires_grad=True)
+        z = (x * 2.0).exp()
+        nodes = graph_nodes(z)
+        assert nodes[-1] is z
+        assert nodes.index(x) < len(nodes) - 1
+
+    def test_shared_subgraph_counted_once(self):
+        x = Tensor(1.0, requires_grad=True)
+        a = x * 2.0
+        z = a + a
+        # x, the coerced constant 2.0, a, z — `a` appears once despite being
+        # both operands of the add.
+        assert graph_size(z) == 4
+
+
+class TestDot:
+    def test_contains_all_nodes_and_edges(self):
+        x = Tensor(np.ones(2), requires_grad=True, name="weights")
+        z = (x * 3.0).sum()
+        dot = to_dot(z)
+        assert dot.startswith("digraph")
+        assert "weights" in dot
+        assert dot.count("->") == 3  # x→mul, const→mul, mul→sum
+
+    def test_parameters_are_shaded(self):
+        x = Tensor(np.ones(2), requires_grad=True, name="p")
+        dot = to_dot((x * 1.0).sum())
+        assert "fillcolor" in dot
+
+    def test_size_cap(self):
+        x = Tensor(1.0, requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.0
+        with pytest.raises(ValueError):
+            to_dot(y, max_nodes=10)
+
+
+class TestExactModelEnergy:
+    def test_matches_dense_rayleigh(self, small_tim, rng):
+        from repro.core.observables import exact_model_energy
+        from repro.models import MADE
+        from repro.tensor.tensor import no_grad
+
+        model = MADE(6, hidden=8, rng=rng)
+        got = exact_model_energy(model, small_tim)
+        states = ((np.arange(64)[:, None] >> np.arange(5, -1, -1)) & 1).astype(float)
+        mat = small_tim.to_dense()
+        with no_grad():
+            psi = np.exp(model.log_psi(states).data)
+        expect = psi @ mat @ psi / (psi @ psi)
+        assert got == pytest.approx(expect, abs=1e-9)

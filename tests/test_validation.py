@@ -1,0 +1,34 @@
+"""The selfcheck battery itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validation import CHECKS, run_selfcheck
+
+
+class TestSelfcheck:
+    def test_all_checks_pass(self, capsys):
+        results = run_selfcheck(verbose=False)
+        failed = [r for r in results if not r.passed]
+        assert not failed, f"selfcheck failures: {failed}"
+        assert len(results) == len(CHECKS)
+
+    def test_failures_are_reported_not_raised(self, monkeypatch):
+        import repro.validation as v
+
+        def broken():
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setitem(v.CHECKS, "broken", broken)
+        results = run_selfcheck(verbose=False)
+        broken_result = [r for r in results if r.name == "broken"][0]
+        assert not broken_result.passed
+        assert "injected failure" in broken_result.detail
+
+    def test_cli_exit_codes(self, capsys):
+        from repro.cli import main
+
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "checks passed" in out
