@@ -20,6 +20,10 @@ re-exports it and adds harness-side conveniences (CLI, table helpers).
 from __future__ import annotations
 
 import argparse
+import json
+import platform
+import time
+from pathlib import Path
 
 import numpy as np
 
@@ -35,6 +39,7 @@ from repro.utils.tables import format_table  # noqa: F401 — re-exported
 
 __all__ = [
     "PAPER_DIMS",
+    "OUT_DIR",
     "build_model",
     "build_sampler",
     "build_optimizer",
@@ -44,9 +49,38 @@ __all__ = [
     "parse_args",
     "format_table",
     "mean_std",
+    "emit_json",
 ]
 
 PAPER_DIMS = (20, 50, 100, 200, 500)
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit_json(name: str, payload: dict, out_dir: Path | str | None = None) -> Path:
+    """Write ``BENCH_<name>.json`` next to the text outputs.
+
+    Every harness emits its measurements in this machine-readable envelope
+    so the perf trajectory of the hot paths (sampling / local-energy
+    throughput, training time) can be tracked commit over commit instead of
+    parsed out of formatted tables. ``payload`` carries the
+    benchmark-specific fields (typically a ``results`` row list); the
+    envelope adds provenance.
+    """
+    out = Path(out_dir) if out_dir is not None else OUT_DIR
+    out.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "benchmark": name,
+        "schema_version": 1,
+        "unix_time": round(time.time(), 3),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        **payload,
+    }
+    path = out / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"[json] wrote {path}")
+    return path
 
 
 def parse_args(description: str) -> argparse.Namespace:

@@ -19,7 +19,7 @@ import sys
 import numpy as np
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
-from _harness import format_table, parse_args  # noqa: E402
+from _harness import emit_json, format_table, parse_args  # noqa: E402
 
 from repro.models import MADE, RBM  # noqa: E402
 from repro.samplers import AutoregressiveSampler, MetropolisSampler  # noqa: E402
@@ -40,11 +40,21 @@ def main() -> None:
     rng = np.random.default_rng(1)
 
     rows = []
+    records = []
     for bs in (64, 256, 1024, 4096):
-        auto = AutoregressiveSampler()
-        auto.sample(made, bs, rng)
-        auto_passes = auto.last_stats.forward_passes
-        row = [bs, auto_passes]
+        naive = AutoregressiveSampler(method="naive")
+        naive.sample(made, bs, rng)
+        naive_passes = naive.last_stats.forward_passes
+        assert naive_passes == n, (naive_passes, n)
+        incr = AutoregressiveSampler()  # incremental by default
+        incr.sample(made, bs, rng)
+        incr_equiv = incr.last_stats.forward_pass_equivalents
+        row = [bs, naive_passes, round(incr_equiv, 3)]
+        record = {
+            "batch_size": bs,
+            "auto_naive_passes": naive_passes,
+            "auto_incremental_pass_equivalents": incr_equiv,
+        }
         for c in (1, 2, 8):
             mcmc = MetropolisSampler(n_chains=c)
             mcmc.sample(rbm, bs, rng)
@@ -52,17 +62,22 @@ def main() -> None:
             formula = 1 + (3 * n + 100) + int(np.ceil(bs / c))
             assert got == formula, (got, formula)
             row.append(got)
+            record[f"mcmc_passes_c{c}"] = got
         rows.append(row)
+        records.append(record)
     print(format_table(
-        ["batch size", "AUTO passes", "MCMC c=1", "MCMC c=2", "MCMC c=8"],
+        ["batch size", "AUTO naive", "AUTO incr (equiv)",
+         "MCMC c=1", "MCMC c=2", "MCMC c=8"],
         rows,
         title=f"Figure 1: forward passes per batch (n={n}, burn-in k=3n+100)",
     ))
+    emit_json("fig1_sampling_cost", {"n": n, "results": records})
     print(
-        "\nAUTO's pass count is exactly n regardless of batch size — every\n"
-        "pass advances the whole batch one site. MCMC pays the k burn-in\n"
-        "serially and then bs/c collection steps; all counts match the\n"
-        "k + bs/c formula annotated in the paper's Figure 1."
+        "\nThe naive AUTO pass count is exactly n regardless of batch size —\n"
+        "every pass advances the whole batch one site — and the incremental\n"
+        "kernel shrinks the measured cost to ~1 pass-equivalent. MCMC pays\n"
+        "the k burn-in serially and then bs/c collection steps; all counts\n"
+        "match the k + bs/c formula annotated in the paper's Figure 1."
     )
 
 

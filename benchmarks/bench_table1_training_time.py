@@ -18,7 +18,7 @@ import sys
 import numpy as np
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
-from _harness import format_table, parse_args, train_once  # noqa: E402
+from _harness import emit_json, format_table, parse_args, train_once  # noqa: E402
 
 from repro.core import VQMC  # noqa: E402
 from repro.hamiltonians import TransverseFieldIsing  # noqa: E402
@@ -56,11 +56,15 @@ def main() -> None:
     batch = 1024 if args.paper else 256
 
     rows = []
+    records = []
     for n in dims:
         ham = TransverseFieldIsing.random(n, seed=1)
         made = train_once(ham, "made", "auto", "adam", iterations, batch, seed=0)
         rbm = train_once(ham, "rbm", "mcmc", "adam", iterations, batch, seed=0)
-        # Fig. 1's hardware-independent cost: forward passes per iteration.
+        # Fig. 1's hardware-independent cost: forward passes per iteration
+        # (n for the naive AUTO sampler; the incremental kernel the driver
+        # actually runs measures ~1 pass-equivalent — see
+        # BENCH_kernel_fastpaths.json for the kernel-level comparison).
         auto_passes = n
         mcmc_passes = (3 * n + 100) + batch // 2 + 1
         rows.append([
@@ -68,12 +72,25 @@ def main() -> None:
             rbm.train_seconds, made.train_seconds,
             mcmc_passes, auto_passes, mcmc_passes / auto_passes,
         ])
+        records.append({
+            "n": n,
+            "iterations": iterations,
+            "batch_size": batch,
+            "rbm_mcmc_seconds": rbm.train_seconds,
+            "made_auto_seconds": made.train_seconds,
+            "mcmc_passes_per_iter": mcmc_passes,
+            "auto_naive_passes_per_iter": auto_passes,
+        })
     print(format_table(
         ["n", "RBM&MCMC (s)", "MADE&AUTO (s)",
          "MCMC passes/iter", "AUTO passes/iter", "pass ratio"],
         rows,
         title=f"Table 1 (measured, {iterations} iters, bs={batch}, CPU)",
     ))
+    emit_json("table1_training_time", {
+        "preset": "paper" if args.paper else "reduced",
+        "results": records,
+    })
     print(
         "\nNote: on a GPU every forward pass costs a near-constant kernel\n"
         "launch, so wall time tracks the pass count and MADE+AUTO wins by the\n"

@@ -5,10 +5,13 @@ Local energy::
     l(x) = (Hψ)(x) / ψ(x) = H_xx + Σ_{y ≠ x, H_xy ≠ 0} H_xy ψ(y)/ψ(x)
 
 The sum runs over the ``connected`` configurations of the Hamiltonian row —
-``O(s)`` terms per sample (Definition 2.1). The amplitude ratios are
-evaluated in log space with **one** batched forward pass over all
-``B × K`` neighbours, which is the measurement pattern the paper's
-complexity analysis in §4 counts as "a fixed number of forward passes".
+``O(s)`` terms per sample (Definition 2.1). For Hamiltonians exposing a
+structured single-flip row description (Eq. 11 family) the log-ratios are
+delta-evaluated by the fused kernel in :mod:`repro.perf.flips` from ONE
+cached forward pass; otherwise they fall back to one batched forward pass
+over all ``B × K`` dense neighbours — either way the measurement pattern
+the paper's complexity analysis in §4 counts as "a fixed number of forward
+passes".
 
 Gradient (Eq. 5)::
 
@@ -69,31 +72,99 @@ class EnergyStats:
 
 
 def local_energies(
-    model: WaveFunction, hamiltonian: Hamiltonian, x: np.ndarray
-) -> np.ndarray:
-    """Evaluate ``l(x)`` for a batch — shape (B,). No autograd graph is built."""
+    model: WaveFunction,
+    hamiltonian: Hamiltonian,
+    x: np.ndarray,
+    log_psi_x: np.ndarray | None = None,
+    return_log_psi: bool = False,
+    fast: bool | None = None,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Evaluate ``l(x)`` for a batch — shape (B,). No autograd graph is built.
+
+    Two execution paths:
+
+    - **fused** (default whenever ``hamiltonian.single_flips()`` is
+      structured and the model supports delta evaluation): the
+      :mod:`repro.perf.flips` kernel computes every log-ratio from one
+      cached forward pass plus per-flip column deltas — no ``(B, K, n)``
+      neighbour array, no ``B·K`` from-scratch forward passes;
+    - **dense**: the generic ``connected()`` path, one batched forward pass
+      over all neighbours. Used for MCMC-only models (RBM) and
+      unstructured Hamiltonians.
+
+    Parameters
+    ----------
+    log_psi_x:
+        Optional precomputed ``log ψ(x)`` (shape ``(B,)``) — e.g. the value
+        ``log_psi_and_grads`` already returned to the training loop — so
+        amplitudes of ``x`` are never evaluated twice per step.
+    return_log_psi:
+        When True, return ``(energies, log_psi_x)`` — the provided or
+        computed log-amplitudes of ``x`` (evaluated on demand if a purely
+        diagonal Hamiltonian made them unnecessary for the energies).
+    fast:
+        Force (True) or forbid (False) the fused kernel; ``None`` picks
+        automatically. Forcing it on an unsupported model/Hamiltonian pair
+        raises ``ValueError``.
+    """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 2 or x.shape[1] != hamiltonian.n:
         raise ValueError(f"expected (B, {hamiltonian.n}) batch, got {x.shape}")
     if model.n != hamiltonian.n:
         raise ValueError(f"model has n={model.n} but Hamiltonian has n={hamiltonian.n}")
+    if log_psi_x is not None:
+        log_psi_x = np.asarray(log_psi_x, dtype=np.float64)
+        if log_psi_x.shape != (x.shape[0],):
+            raise ValueError(
+                f"log_psi_x must have shape ({x.shape[0]},), got {log_psi_x.shape}"
+            )
+
+    from repro.perf.flips import flip_log_ratios, supports_flip_kernel
+
+    flips = hamiltonian.single_flips()
+    fused_ok = flips is not None and supports_flip_kernel(model)
+    if fast is None:
+        use_fused = fused_ok
+    elif fast and not fused_ok:
+        raise ValueError(
+            "fast=True requires a single-flip Hamiltonian and a MADE-style "
+            f"model; got {type(hamiltonian).__name__} / {type(model).__name__}"
+        )
+    else:
+        use_fused = fast
 
     energies = hamiltonian.diagonal(x).copy()
-    nbrs, amps = hamiltonian.connected(x)
-    bsz, k, _ = nbrs.shape
-    if k:
+    # Clip the log-ratio so a collapsing wavefunction produces a huge but
+    # finite local energy instead of inf: inf would turn the batch mean
+    # into NaN and poison the gradient. e^MAX_LOG_RATIO ≈ 5·10³⁴ is far
+    # beyond any physical ratio yet small enough that batch sums and
+    # variances stay finite. (An fp32 implementation — like the paper's —
+    # would have saturated at e^88 anyway.)
+    if use_fused:
+        if flips.k:
+            deltas, cache = flip_log_ratios(model, flips.sites, x=x)
+            ratios = np.exp(np.clip(deltas, -MAX_LOG_RATIO, MAX_LOG_RATIO))
+            energies += ratios @ flips.amplitudes
+            if log_psi_x is None:
+                log_psi_x = cache.log_psi
+    else:
+        nbrs, amps = hamiltonian.connected(x)
+        bsz, k, _ = nbrs.shape
+        if k:
+            with no_grad():
+                if log_psi_x is None:
+                    log_psi_x = model.log_psi(x).data
+                lp_n = model.log_psi(nbrs.reshape(bsz * k, -1)).data.reshape(bsz, k)
+            ratios = np.exp(
+                np.clip(lp_n - log_psi_x[:, None], -MAX_LOG_RATIO, MAX_LOG_RATIO)
+            )
+            energies += (amps * ratios).sum(axis=1)
+    if not return_log_psi:
+        return energies
+    if log_psi_x is None:
         with no_grad():
-            lp_x = model.log_psi(x).data
-            lp_n = model.log_psi(nbrs.reshape(bsz * k, -1)).data.reshape(bsz, k)
-        # Clip the log-ratio so a collapsing wavefunction produces a huge but
-        # finite local energy instead of inf: inf would turn the batch mean
-        # into NaN and poison the gradient. e^MAX_LOG_RATIO ≈ 5·10³⁴ is far
-        # beyond any physical ratio yet small enough that batch sums and
-        # variances stay finite. (An fp32 implementation — like the paper's —
-        # would have saturated at e^88 anyway.)
-        ratios = np.exp(np.clip(lp_n - lp_x[:, None], -MAX_LOG_RATIO, MAX_LOG_RATIO))
-        energies += (amps * ratios).sum(axis=1)
-    return energies
+            log_psi_x = model.log_psi(x).data
+    return energies, log_psi_x
 
 
 def energy_statistics(local: np.ndarray) -> EnergyStats:

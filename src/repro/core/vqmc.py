@@ -169,23 +169,36 @@ class VQMC:
         bsz = batch_size or self.config.batch_size
         with self.clock.measure("sample"):
             x = self.sampler.sample(self.model, bsz, self.rng)
-        with self.clock.measure("energy"):
-            local = local_energies(self.model, self.hamiltonian, x)
-            stats = self._combine_stats(local)
 
+        # Evaluate the amplitudes ONCE: the gradient path computes
+        # log ψ(x) anyway (with a graph or alongside the O matrix), so the
+        # energy step reuses it instead of running its own forward pass.
         mode = self._gradient_mode()
         self.model.zero_grad()
-        with self.clock.measure("gradient"):
-            if mode == "autograd":
+        if mode == "autograd":
+            with self.clock.measure("gradient"):
+                log_psi = self.model.log_psi(x)
+            with self.clock.measure("energy"):
+                local = local_energies(
+                    self.model, self.hamiltonian, x, log_psi_x=log_psi.data
+                )
+                stats = self._combine_stats(local)
+            with self.clock.measure("gradient"):
                 # Centre with the *global* mean so distributed gradients
                 # average to the exact big-batch estimator.
                 weights = 2.0 * (local - stats.mean) / (bsz * self._world_size())
-                log_psi = self.model.log_psi(x)
                 (log_psi * weights).sum().backward()
                 grad = self.model.flat_grad()
                 grad = self._allreduce(grad)
-            else:
-                _, o = self.model.log_psi_and_grads(x)
+        else:
+            with self.clock.measure("gradient"):
+                lp, o = self.model.log_psi_and_grads(x)
+            with self.clock.measure("energy"):
+                local = local_energies(
+                    self.model, self.hamiltonian, x, log_psi_x=lp
+                )
+                stats = self._combine_stats(local)
+            with self.clock.measure("gradient"):
                 grad = self._combined_gradient(o, local, stats)
                 if self.sr is not None:
                     grad = self._natural_gradient(o, local, grad, stats)

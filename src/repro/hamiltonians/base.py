@@ -12,9 +12,18 @@ Conventions
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-__all__ = ["Hamiltonian", "bits_to_spins", "spins_to_bits", "index_to_bits", "bits_to_index"]
+__all__ = [
+    "Hamiltonian",
+    "SingleFlipRows",
+    "bits_to_spins",
+    "spins_to_bits",
+    "index_to_bits",
+    "bits_to_index",
+]
 
 
 def bits_to_spins(x: np.ndarray) -> np.ndarray:
@@ -42,11 +51,48 @@ def bits_to_index(x: np.ndarray) -> np.ndarray:
     return (x.astype(np.int64) @ weights)
 
 
+@dataclass(frozen=True)
+class SingleFlipRows:
+    """Structured description of off-diagonal rows made of single bit flips.
+
+    When every connected configuration of every row is ``x`` with exactly
+    one bit flipped, and the amplitude of each flip is independent of ``x``,
+    the whole ``connected()`` output is summarised by two length-``K``
+    arrays: ``H[x, x ⊕ e_{sites[k]}] = amplitudes[k]`` for all ``x``. This
+    is the paper's Eq. 11 family (each ``X_i`` term flips bit ``i`` with
+    constant amplitude ``-α_i``) and is what the fused delta-evaluation
+    kernel in :mod:`repro.perf.flips` consumes — no ``(B, K, n)`` dense
+    neighbour array is ever materialised.
+    """
+
+    sites: np.ndarray  # (K,) int — flipped site per connected entry
+    amplitudes: np.ndarray  # (K,) float — configuration-independent amplitudes
+
+    def __post_init__(self):
+        sites = np.asarray(self.sites, dtype=np.int64)
+        amps = np.asarray(self.amplitudes, dtype=np.float64)
+        if sites.ndim != 1 or amps.shape != sites.shape:
+            raise ValueError(
+                f"sites/amplitudes must be matching 1-D arrays, got "
+                f"{sites.shape} and {amps.shape}"
+            )
+        if sites.size and sites.size != np.unique(sites).size:
+            raise ValueError("flip sites must be unique (merge amplitudes first)")
+        object.__setattr__(self, "sites", sites)
+        object.__setattr__(self, "amplitudes", amps)
+
+    @property
+    def k(self) -> int:
+        return int(self.sites.size)
+
+
 class Hamiltonian:
     """Row-sparse, efficiently row-computable Hamiltonian (Definition 2.1).
 
     Subclasses implement :meth:`diagonal` and :meth:`connected`; everything
-    else (local energies, exact matrices, VQMC) is generic.
+    else (local energies, exact matrices, VQMC) is generic. Subclasses whose
+    off-diagonal rows are configuration-independent single flips should also
+    override :meth:`single_flips` to unlock the fused local-energy kernel.
     """
 
     def __init__(self, n: int):
@@ -74,6 +120,19 @@ class Hamiltonian:
     def sparsity(self) -> int:
         """Upper bound on off-diagonal entries per row (``s`` of Def. 2.1)."""
         raise NotImplementedError
+
+    # -- optional structure --------------------------------------------------------
+
+    def single_flips(self) -> SingleFlipRows | None:
+        """Structured single-flip form of the off-diagonal rows, if any.
+
+        Returns ``None`` when the rows are not expressible as
+        configuration-independent single bit flips (the generic dense
+        ``connected()`` path is used instead). The contract, when not
+        ``None``: ``connected(x)`` is exactly ``x`` with bit ``sites[k]``
+        flipped at amplitude ``amplitudes[k]``, for every ``x``.
+        """
+        return None
 
     # -- generic helpers ----------------------------------------------------------
 

@@ -20,7 +20,14 @@ __all__ = ["TransverseFieldIsing"]
 
 
 class TransverseFieldIsing(ZZXHamiltonian):
-    """Random dense TIM instance with the paper's disorder distributions."""
+    """Random dense TIM instance with the paper's disorder distributions.
+
+    Inherits the structured ``single_flips()`` row description from
+    :class:`ZZXHamiltonian`: with α_i ~ U(0,1) every site carries a
+    transverse field (almost surely), so each row has exactly ``n``
+    single-flip neighbours — the worst case the fused delta-evaluation
+    kernel in :mod:`repro.perf.flips` is built for.
+    """
 
     def __init__(
         self,

@@ -47,7 +47,12 @@ def bernoulli_adjacency(
 
 
 class MaxCut(ZZXHamiltonian):
-    """Max-Cut Hamiltonian; ``H_xx = -cut(x)``, no off-diagonal entries."""
+    """Max-Cut Hamiltonian; ``H_xx = -cut(x)``, no off-diagonal entries.
+
+    ``single_flips()`` (inherited) returns an empty flip list — α ≡ 0 —
+    so ``local_energies`` reduces to the diagonal and performs no network
+    evaluations at all (unless the caller asks for ``log ψ(x)`` back).
+    """
 
     def __init__(self, adjacency: np.ndarray):
         adjacency = np.asarray(adjacency, dtype=np.float64)

@@ -124,6 +124,24 @@ class PauliStringHamiltonian(Hamiltonian):
     def sparsity(self) -> int:
         return len(self.offdiag_terms)
 
+    def single_flips(self):
+        """Structured single-flip rows when every off-diagonal term is a bare
+        single-site X (no Z factors — those make amplitudes state-dependent).
+        Coefficients of repeated sites merge; returns ``None`` otherwise."""
+        from repro.hamiltonians.base import SingleFlipRows
+
+        amplitudes: dict[int, float] = {}
+        for term in self.offdiag_terms:
+            if term.z_sites or len(term.x_sites) != 1:
+                return None
+            site = term.x_sites[0]
+            amplitudes[site] = amplitudes.get(site, 0.0) + term.coefficient
+        sites = np.array(sorted(amplitudes), dtype=np.int64)
+        return SingleFlipRows(
+            sites=sites,
+            amplitudes=np.array([amplitudes[s] for s in sites]),
+        )
+
     # -- matrix elements ------------------------------------------------------------
 
     @staticmethod

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hamiltonians.base import Hamiltonian, bits_to_spins
+from repro.hamiltonians.base import Hamiltonian, SingleFlipRows, bits_to_spins
 
 __all__ = ["ZZXHamiltonian"]
 
@@ -84,17 +84,24 @@ class ZZXHamiltonian(Hamiltonian):
         pair = 0.5 * np.einsum("bi,ij,bj->b", z, self.couplings, z)
         return -field - pair + self.offset
 
+    def single_flips(self) -> SingleFlipRows:
+        """Every X_i term flips bit ``i`` with constant amplitude ``-α_i`` —
+        the structured form the fused local-energy kernel consumes."""
+        sites = self._flip_sites
+        return SingleFlipRows(sites=sites, amplitudes=-self.alpha[sites])
+
     def connected(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         x = self._check_batch(x)
         bsz = x.shape[0]
-        sites = self._flip_sites
-        k = sites.size
+        flips = self.single_flips()
+        k = flips.k
         if k == 0:
             return np.zeros((bsz, 0, self.n)), np.zeros((bsz, 0))
+        sites = flips.sites
         nbrs = np.broadcast_to(x[:, None, :], (bsz, k, self.n)).copy()
         rows = np.arange(k)
         nbrs[:, rows, sites] = 1.0 - nbrs[:, rows, sites]
-        amps = np.broadcast_to(-self.alpha[sites], (bsz, k)).copy()
+        amps = np.broadcast_to(flips.amplitudes, (bsz, k)).copy()
         return nbrs, amps
 
     # -- convenience --------------------------------------------------------------

@@ -1,0 +1,38 @@
+"""Fast-path kernels exploiting autoregressive and single-flip structure.
+
+This package holds the performance layer the rest of the stack opts into:
+
+- :mod:`repro.perf.incremental` — O(n·h) ancestral sampling for MADE via
+  cached pre-activations and masked rank-1 column updates (vs the naive
+  O(n²·h) of ``n`` full forward passes);
+- :mod:`repro.perf.flips` — fused single-flip ``log ψ`` delta kernel that
+  evaluates all connected-row amplitude ratios from one cached forward
+  pass (used by ``local_energies`` for Hamiltonians exposing a structured
+  flip list).
+
+Everything here is exact (same math, same clipping as the naive paths) —
+see ``docs/performance.md`` for the complexity table and the dispatch
+rules.
+"""
+
+from repro.perf.flips import (
+    MADEForwardCache,
+    flip_log_ratios,
+    forward_cache,
+    supports_flip_kernel,
+)
+from repro.perf.incremental import (
+    IncrementalSampleResult,
+    incremental_sample,
+    supports_incremental,
+)
+
+__all__ = [
+    "IncrementalSampleResult",
+    "MADEForwardCache",
+    "flip_log_ratios",
+    "forward_cache",
+    "incremental_sample",
+    "supports_flip_kernel",
+    "supports_incremental",
+]

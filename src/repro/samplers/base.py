@@ -18,16 +18,30 @@ class SamplerStats:
     ``forward_passes`` counts network evaluations, the quantity the paper's
     Figure 1 compares (``k + bs/c`` for MCMC vs ``n`` for AUTO); it is what
     the cluster cost model consumes.
+
+    ``forward_pass_equivalents`` is the *true* cost in units of one batched
+    forward pass, measured from the operations actually performed. Samplers
+    that run whole passes leave it ``None`` (it then equals
+    ``forward_passes``); the incremental autoregressive kernel reports a
+    fractional value well below ``n`` — see ``docs/performance.md``.
     """
 
     forward_passes: int = 0
     proposals: int = 0
     accepted: int = 0
+    forward_pass_equivalents: float | None = None
     extras: dict = field(default_factory=dict)
 
     @property
     def acceptance_rate(self) -> float:
         return self.accepted / self.proposals if self.proposals else float("nan")
+
+    @property
+    def pass_equivalents(self) -> float:
+        """Measured cost in forward-pass units, falling back to the count."""
+        if self.forward_pass_equivalents is not None:
+            return self.forward_pass_equivalents
+        return float(self.forward_passes)
 
 
 class Sampler:

@@ -32,6 +32,35 @@ class TestHarnessHelpers:
 
         assert PAPER_DIMS == (20, 50, 100, 200, 500)
 
+    def test_emit_json_envelope(self, tmp_path):
+        import json
+
+        from _harness import emit_json
+
+        path = emit_json(
+            "unit_test", {"results": [{"n": 8, "seconds": 0.5}]}, out_dir=tmp_path
+        )
+        assert path == tmp_path / "BENCH_unit_test.json"
+        doc = json.loads(path.read_text())
+        assert doc["benchmark"] == "unit_test"
+        assert doc["schema_version"] == 1
+        assert doc["results"] == [{"n": 8, "seconds": 0.5}]
+        for key in ("unix_time", "python", "numpy"):
+            assert key in doc
+
+
+class TestKernelFastpathsHarness:
+    def test_speedup_rows_are_machine_readable(self):
+        """A tiny end-to-end run of the fast-path harness: the fused/
+        incremental kernels must beat the naive paths even at toy scale."""
+        import bench_kernel_fastpaths as bench
+
+        (row,) = bench.run(dims=(24,), batch=64, repeats=1)
+        assert row["n"] == 24
+        assert row["sample_speedup"] > 1.0
+        assert row["combined_speedup"] > 1.0
+        assert 0.0 < row["sample_pass_equivalents"] < 24
+
 
 class TestRunAll:
     def test_discovers_all_harnesses(self):
@@ -48,6 +77,7 @@ class TestRunAll:
             "bench_table6_raw_scaling",
             "bench_table7_memory_saturated",
             "bench_fig1_sampling_cost",
+            "bench_kernel_fastpaths",
             "bench_fig2_training_curves",
             "bench_fig3_weak_scaling",
             "bench_fig4_batch_convergence",

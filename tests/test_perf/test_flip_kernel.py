@@ -1,0 +1,202 @@
+"""Property tests: fused single-flip log-ψ deltas match dense evaluation.
+
+The kernel's log-ratios ``log ψ(x^{(s)}) − log ψ(x)`` must agree with the
+from-scratch dense computation to 1e-10 across random deep-MADE widths,
+and ``local_energies`` must give identical answers on its fused and dense
+paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.energy import local_energies
+from repro.hamiltonians import MaxCut, TransverseFieldIsing
+from repro.hamiltonians.base import SingleFlipRows
+from repro.models import MADE
+from repro.perf import flip_log_ratios, forward_cache, supports_flip_kernel
+from repro.tensor.tensor import no_grad
+
+SETTINGS = dict(max_examples=25, deadline=None, derandomize=True)
+
+
+@st.composite
+def made_specs(draw):
+    n = draw(st.integers(min_value=1, max_value=14))
+    depth = draw(st.integers(min_value=1, max_value=3))
+    widths = [draw(st.integers(min_value=1, max_value=20)) for _ in range(depth)]
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return n, widths, seed
+
+
+def _build(n, widths, seed, spread=0.7):
+    rng = np.random.default_rng(seed)
+    model = MADE(n, hidden=widths if len(widths) > 1 else widths[0], rng=rng)
+    for p in model.parameters():
+        p.data += rng.normal(size=p.shape) * spread
+    return model
+
+
+def _dense_ratios(model, x, sites):
+    """Reference: from-scratch log ψ of every flipped neighbour."""
+    bsz = x.shape[0]
+    with no_grad():
+        lp_x = model.log_psi(x).data
+        out = np.empty((bsz, sites.size))
+        for k, s in enumerate(sites):
+            y = x.copy()
+            y[:, s] = 1.0 - y[:, s]
+            out[:, k] = model.log_psi(y).data - lp_x
+    return out
+
+
+class TestRatioIdentity:
+    @settings(**SETTINGS)
+    @given(spec=made_specs(), batch=st.integers(min_value=1, max_value=16))
+    def test_matches_dense_all_sites(self, spec, batch):
+        n, widths, seed = spec
+        model = _build(n, widths, seed)
+        x = (np.random.default_rng(seed + 1).random((batch, n)) < 0.5).astype(float)
+        sites = np.arange(n)
+        got, cache = flip_log_ratios(model, sites, x=x)
+        expect = _dense_ratios(model, x, sites)
+        assert np.allclose(got, expect, atol=1e-10)
+        # The cache's log ψ is the one the training loop reuses.
+        with no_grad():
+            assert np.allclose(cache.log_psi, model.log_psi(x).data, atol=1e-10)
+
+    @settings(**SETTINGS)
+    @given(spec=made_specs(), data=st.data())
+    def test_matches_dense_site_subsets(self, spec, data):
+        n, widths, seed = spec
+        model = _build(n, widths, seed)
+        x = (np.random.default_rng(seed + 2).random((4, n)) < 0.5).astype(float)
+        sites = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    unique=True,
+                    max_size=n,
+                ),
+                label="sites",
+            ),
+            dtype=np.int64,
+        )
+        got, _ = flip_log_ratios(model, sites, x=x)
+        expect = _dense_ratios(model, x, sites)
+        assert got.shape == (4, sites.size)
+        assert np.allclose(got, expect, atol=1e-10)
+
+    def test_cache_reuse(self, rng):
+        model = _build(8, [30], 3)
+        x = (rng.random((5, 8)) < 0.5).astype(float)
+        cache = forward_cache(model, x)
+        got, _ = flip_log_ratios(model, np.arange(8), cache=cache)
+        assert np.allclose(got, _dense_ratios(model, x, np.arange(8)), atol=1e-10)
+
+    def test_needs_x_or_cache(self, rng):
+        model = _build(4, [10], 0)
+        with pytest.raises(ValueError):
+            flip_log_ratios(model, np.arange(4))
+
+    def test_rejects_out_of_range_sites(self, rng):
+        model = _build(4, [10], 0)
+        x = np.zeros((2, 4))
+        with pytest.raises(ValueError):
+            flip_log_ratios(model, np.array([4]), x=x)
+
+
+class TestLocalEnergyPaths:
+    @settings(**SETTINGS)
+    @given(
+        n=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_fused_equals_dense_on_tim(self, n, seed):
+        model = _build(n, [3 * n], seed)
+        ham = TransverseFieldIsing.random(n, seed=seed)
+        x = (np.random.default_rng(seed).random((8, n)) < 0.5).astype(float)
+        fused = local_energies(model, ham, x, fast=True)
+        dense = local_energies(model, ham, x, fast=False)
+        assert np.allclose(fused, dense, atol=1e-9)
+
+    def test_fused_is_the_default_for_made_and_flips(self, rng, monkeypatch):
+        """Auto dispatch must never fall back to materialising neighbours."""
+        model = _build(6, [12], 5)
+        ham = TransverseFieldIsing.random(6, seed=5)
+
+        def boom(x):
+            raise AssertionError("dense connected() path used despite flip structure")
+
+        monkeypatch.setattr(ham, "connected", boom)
+        x = (rng.random((4, 6)) < 0.5).astype(float)
+        energies = local_energies(model, ham, x)
+        assert np.all(np.isfinite(energies))
+
+    def test_fast_true_requires_support(self, rng):
+        from repro.models import RBM
+
+        ham = TransverseFieldIsing.random(4, seed=0)
+        with pytest.raises(ValueError):
+            local_energies(RBM(4, rng=rng), ham, np.zeros((2, 4)), fast=True)
+
+    def test_diagonal_hamiltonian_short_circuits(self, rng):
+        model = _build(8, [10], 1)
+        ham = MaxCut.random(8, seed=1)
+        x = (rng.random((5, 8)) < 0.5).astype(float)
+        assert np.allclose(local_energies(model, ham, x), ham.diagonal(x))
+        energies, lp = local_energies(model, ham, x, return_log_psi=True)
+        with no_grad():
+            assert np.allclose(lp, model.log_psi(x).data)
+
+
+class TestFlipStructure:
+    def test_zzx_flip_list_matches_connected(self):
+        ham = TransverseFieldIsing.random(7, seed=11)
+        flips = ham.single_flips()
+        x = (np.random.default_rng(0).random((3, 7)) < 0.5).astype(float)
+        nbrs, amps = ham.connected(x)
+        assert flips.k == nbrs.shape[1]
+        for k in range(flips.k):
+            expect = x.copy()
+            expect[:, flips.sites[k]] = 1.0 - expect[:, flips.sites[k]]
+            assert np.array_equal(nbrs[:, k], expect)
+            assert np.allclose(amps[:, k], flips.amplitudes[k])
+
+    def test_maxcut_has_empty_flip_list(self):
+        assert MaxCut.random(6, seed=0).single_flips().k == 0
+
+    def test_pauli_pure_x_supported(self):
+        from repro.hamiltonians.pauli import PauliStringHamiltonian
+
+        ham = PauliStringHamiltonian(
+            4, [("X0", -0.5), ("X2", -1.0), ("X0", -0.25), ("Z1 Z3", 0.7)]
+        )
+        flips = ham.single_flips()
+        assert flips is not None
+        assert np.array_equal(flips.sites, [0, 2])
+        assert np.allclose(flips.amplitudes, [-0.75, -1.0])
+
+    def test_pauli_mixed_terms_unsupported(self):
+        from repro.hamiltonians.pauli import PauliStringHamiltonian
+
+        assert (
+            PauliStringHamiltonian(4, [("Z0 X1", -0.5)], check=False).single_flips()
+            is None
+        )
+        assert PauliStringHamiltonian(4, [("X0 X1", -0.5)]).single_flips() is None
+
+    def test_single_flip_rows_validation(self):
+        with pytest.raises(ValueError):
+            SingleFlipRows(sites=np.array([0, 0]), amplitudes=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            SingleFlipRows(sites=np.array([0, 1]), amplitudes=np.array([1.0]))
+
+    def test_supports_flip_kernel_flags(self, rng):
+        from repro.models import RBM
+
+        assert supports_flip_kernel(MADE(4, rng=rng))
+        assert not supports_flip_kernel(RBM(4, rng=rng))

@@ -1,4 +1,4 @@
-"""Exact autoregressive sampling (AUTO)."""
+"""Exact autoregressive sampling (AUTO) — incremental and naive paths."""
 
 from __future__ import annotations
 
@@ -27,21 +27,48 @@ class TestExactness:
         tv = total_variation_distance(codes, made.exact_distribution())
         assert tv < 0.03
 
-    def test_forward_pass_count_is_n(self, made, rng):
-        sampler = AutoregressiveSampler()
-        sampler.sample(made, 128, rng)
-        assert sampler.last_stats.forward_passes == made.n
-
-    def test_forward_pass_count_independent_of_batch(self, made, rng):
-        sampler = AutoregressiveSampler()
-        sampler.sample(made, 1, rng)
-        small = sampler.last_stats.forward_passes
-        sampler.sample(made, 4096, rng)
-        large = sampler.last_stats.forward_passes
-        assert small == large == made.n
+    def test_incremental_matches_naive_bitwise(self, made):
+        fast = AutoregressiveSampler(method="incremental")
+        slow = AutoregressiveSampler(method="naive")
+        x_fast = fast.sample(made, 256, np.random.default_rng(7))
+        x_slow = slow.sample(made, 256, np.random.default_rng(7))
+        assert np.array_equal(x_fast, x_slow)
 
     def test_exact_flag(self):
         assert AutoregressiveSampler.exact is True
+
+
+class TestStats:
+    def test_incremental_is_default_and_cheaper_than_n(self, made, rng):
+        sampler = AutoregressiveSampler()
+        sampler.sample(made, 128, rng)
+        stats = sampler.last_stats
+        assert stats.extras["fast_path"] == "incremental"
+        # The measured cost is the point of the fast path: well below the
+        # naive sampler's n full passes.
+        assert 0.0 < stats.forward_pass_equivalents < made.n
+        assert stats.forward_passes == int(np.ceil(stats.forward_pass_equivalents))
+        assert stats.pass_equivalents == stats.forward_pass_equivalents
+
+    def test_naive_path_reports_n_passes(self, made, rng):
+        sampler = AutoregressiveSampler(method="naive")
+        sampler.sample(made, 128, rng)
+        stats = sampler.last_stats
+        assert stats.extras["fast_path"] == "naive"
+        assert stats.forward_passes == made.n
+        assert stats.pass_equivalents == float(made.n)
+
+    def test_incremental_cost_independent_of_batch(self, made, rng):
+        sampler = AutoregressiveSampler()
+        sampler.sample(made, 1, rng)
+        small = sampler.last_stats.forward_pass_equivalents
+        sampler.sample(made, 4096, rng)
+        large = sampler.last_stats.forward_pass_equivalents
+        # Per-batch cost in pass units stays O(1) whatever the batch size:
+        # for a single hidden layer it is bounded by ~1.5 passes (one output
+        # row + at most one rank-1 column update per site), never the naive n.
+        assert 0.0 < small < 1.5
+        assert 0.0 < large < 1.5
 
 
 class TestValidation:
@@ -54,3 +81,41 @@ class TestValidation:
     def test_rejects_bad_batch_size(self, made, rng):
         with pytest.raises(ValueError):
             AutoregressiveSampler().sample(made, 0, rng)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            AutoregressiveSampler(method="warp")
+
+    def test_incremental_method_requires_made(self, rng):
+        from repro.models import MeanField
+
+        with pytest.raises(TypeError):
+            AutoregressiveSampler(method="incremental").sample(
+                MeanField(4, rng=rng), 8, rng
+            )
+
+
+class TestFallback:
+    def test_non_made_models_use_model_sample_silently(self, rng, recwarn):
+        from repro.models import MeanField
+
+        sampler = AutoregressiveSampler()
+        x = sampler.sample(MeanField(4, rng=rng), 16, rng)
+        assert x.shape == (16, 4)
+        assert sampler.last_stats.extras["fast_path"] == "naive"
+        assert not any(
+            isinstance(w.message, RuntimeWarning) for w in recwarn.list
+        )
+
+    def test_made_fallback_warns(self, made, rng, monkeypatch):
+        import repro.samplers.autoregressive as auto_mod
+
+        def broken(*args, **kwargs):
+            raise NotImplementedError("simulated unsupported stack")
+
+        monkeypatch.setattr(auto_mod, "incremental_sample", broken)
+        sampler = AutoregressiveSampler()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            x = sampler.sample(made, 16, rng)
+        assert x.shape == (16, 4)
+        assert sampler.last_stats.extras["fast_path"] == "naive"
