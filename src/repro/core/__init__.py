@@ -20,8 +20,10 @@ from repro.core.callbacks import (
 )
 from repro.core.checkpoint import (
     CheckpointCallback,
+    CheckpointCorruptError,
     load_checkpoint,
     save_checkpoint,
+    verify_checkpoint,
 )
 from repro.core.gradient_stats import GradientNoise, gradient_noise
 
@@ -38,8 +40,10 @@ __all__ = [
     "ProgressPrinter",
     "StopTraining",
     "CheckpointCallback",
+    "CheckpointCorruptError",
     "save_checkpoint",
     "load_checkpoint",
+    "verify_checkpoint",
     "GradientNoise",
     "gradient_noise",
 ]

@@ -20,19 +20,56 @@ layer in :mod:`repro.distributed.collectives`, mirroring how NCCL builds its
 collectives over device-to-device copies.
 """
 
-from repro.distributed.comm import Communicator, ReduceOp
+from repro.distributed.comm import (
+    ChecksumError,
+    Communicator,
+    CommTimeoutError,
+    OwnedFrame,
+    RankFailure,
+    ReduceOp,
+    SubCommunicator,
+    WorkerFailure,
+)
 from repro.distributed.serial import SerialCommunicator
 from repro.distributed.threads import ThreadCommunicator, run_threaded, make_thread_group
 from repro.distributed.mp import run_processes
 from repro.distributed import collectives
+from repro.distributed.faults import (
+    FaultEvent,
+    FaultInjectionCallback,
+    FaultPlan,
+    FaultyCommunicator,
+    InjectedRankCrash,
+)
+from repro.distributed.resilient import ResilientCommunicator, RetryPolicy
+from repro.distributed.elastic import ElasticConfig, detect_survivors, shrink_world
+from repro.distributed.resilient_train import ResilientRunReport, train_resilient
 
 __all__ = [
     "Communicator",
+    "CommTimeoutError",
+    "ChecksumError",
+    "OwnedFrame",
+    "RankFailure",
     "ReduceOp",
+    "SubCommunicator",
+    "WorkerFailure",
     "SerialCommunicator",
     "ThreadCommunicator",
     "run_threaded",
     "make_thread_group",
     "run_processes",
     "collectives",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyCommunicator",
+    "FaultInjectionCallback",
+    "InjectedRankCrash",
+    "ResilientCommunicator",
+    "RetryPolicy",
+    "ElasticConfig",
+    "detect_survivors",
+    "shrink_world",
+    "ResilientRunReport",
+    "train_resilient",
 ]

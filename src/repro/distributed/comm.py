@@ -12,6 +12,10 @@ __all__ = [
     "SubCommunicator",
     "CommStats",
     "CommTimeoutError",
+    "ChecksumError",
+    "RankFailure",
+    "WorkerFailure",
+    "OwnedFrame",
 ]
 
 #: default seconds to wait on a peer before declaring the job wedged
@@ -20,6 +24,67 @@ DEFAULT_TIMEOUT = 60.0
 
 class CommTimeoutError(RuntimeError):
     """A peer did not produce an expected message in time (deadlock guard)."""
+
+
+class ChecksumError(RuntimeError):
+    """A framed message failed its payload checksum (corruption in transit).
+
+    Raised (and possibly retried) by
+    :class:`repro.distributed.resilient.ResilientCommunicator`.
+    """
+
+
+class RankFailure(RuntimeError):
+    """A peer rank is considered failed after retries were exhausted.
+
+    Carries the rank that failed (``rank``, in the failing communicator's
+    numbering — translate through ``SubCommunicator.group`` for global
+    ranks) and a short ``reason``. The elastic layer
+    (:mod:`repro.distributed.elastic`) catches this to shrink the world
+    onto the survivors.
+    """
+
+    def __init__(self, rank: int, reason: str):
+        self.rank = rank
+        self.reason = reason
+        super().__init__(f"rank {rank} failed: {reason}")
+
+
+class WorkerFailure(RuntimeError):
+    """One or more worker ranks raised inside ``run_threaded``/``run_processes``.
+
+    ``failures`` maps rank -> formatted traceback (or exception repr) so the
+    root cause is attributed instead of surfacing as a generic timeout on
+    the surviving ranks.
+    """
+
+    def __init__(self, failures: dict[int, str], wedged: list[int] | None = None):
+        self.failures = dict(failures)
+        self.wedged = list(wedged or [])
+        parts = [
+            f"rank {rank} raised:\n{tb.rstrip()}"
+            for rank, tb in sorted(self.failures.items())
+        ]
+        if self.wedged:
+            parts.append(
+                f"ranks {self.wedged} produced no result "
+                "(likely wedged waiting on a failed peer)"
+            )
+        super().__init__(
+            "distributed run failed in "
+            f"{len(self.failures)} worker rank(s):\n" + "\n".join(parts)
+        )
+
+
+class OwnedFrame(np.ndarray):
+    """Marker subclass: the sender hands over ownership of this buffer.
+
+    Backends defensively copy outgoing arrays (the caller may mutate its
+    buffer after ``send`` returns, MPI eager semantics). The resilience
+    layer builds a fresh frame per send anyway, so it tags frames with this
+    view type and backends skip the second copy — keeping the fault-free
+    overhead of the framing layer to one pass over the payload.
+    """
 
 
 class ReduceOp:
@@ -57,9 +122,24 @@ class CommStats:
     Filled by the backends' ``send``/``recv``; lets users verify
     communication-volume claims (e.g. the paper's O(hn) floats per
     data-parallel step) empirically: read, do work, diff.
+
+    The resilience layer (:mod:`repro.distributed.resilient`) additionally
+    fills the recovery counters (``retries`` …), so fault recovery is
+    observable the same way traffic is.
     """
 
-    __slots__ = ("messages_sent", "messages_received", "bytes_sent", "bytes_received")
+    __slots__ = (
+        "messages_sent",
+        "messages_received",
+        "bytes_sent",
+        "bytes_received",
+        # -- resilience counters (ResilientCommunicator) --
+        "retries",
+        "checksum_errors",
+        "duplicates_discarded",
+        "timeouts_recovered",
+        "rank_failures",
+    )
 
     def __init__(self) -> None:
         self.reset()
@@ -69,6 +149,11 @@ class CommStats:
         self.messages_received = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.retries = 0
+        self.checksum_errors = 0
+        self.duplicates_discarded = 0
+        self.timeouts_recovered = 0
+        self.rank_failures = 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}

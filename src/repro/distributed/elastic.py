@@ -1,0 +1,173 @@
+"""Elastic world management: failure detection, consensus, world shrink.
+
+When a rank dies mid-run, the survivors of a synchronous data-parallel job
+have exactly three options: wedge (the status quo ante), abort, or agree on
+who is still alive and continue on the smaller world. This module
+implements the third:
+
+1. **Heartbeats.** Each participant broadcasts a control frame
+   ``[HB, epoch, rank]`` to every other member, then waits (bounded) for
+   each peer's heartbeat. A peer that stays silent past the deadline is
+   suspected dead. Ranks still blocked inside the broken collective are
+   unblocked *by the heartbeat itself*: the resilient layer raises
+   :class:`RankFailure` when a control frame interrupts data traffic, which
+   sends them into this same protocol.
+2. **Consensus.** Survivors exchange their alive-bitmaps and intersect
+   them: a rank survives only if *every* survivor saw it alive. One round
+   suffices under crash-stop failures with conservative timeouts (the
+   failure model injected by :mod:`repro.distributed.faults`).
+3. **Shrink.** The agreed group becomes a
+   :class:`~repro.distributed.comm.SubCommunicator` over the original
+   communicator. Because ``allreduce(op="mean")`` divides by the
+   communicator's ``size``, gradient averaging is automatically
+   re-normalised by the *live* world size — training degrades to a smaller
+   effective batch instead of wedging.
+
+The epoch number (monotonically increased by the caller per shrink) lets
+late-arriving control frames from an earlier detection round be discarded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributed.comm import (
+    DEFAULT_TIMEOUT,
+    CommTimeoutError,
+    RankFailure,
+    SubCommunicator,
+)
+from repro.distributed.resilient import ResilientCommunicator
+
+__all__ = ["ElasticConfig", "detect_survivors", "shrink_world"]
+
+_HB_TAG = 1.0
+_BM_TAG = 2.0
+
+
+@dataclass
+class ElasticConfig:
+    """Detection timeouts. ``None`` derives a conservative value from the
+    communicator's retry policy: a peer blocked on a dead rank needs its
+    full retry budget to escalate into the detection protocol, so the
+    heartbeat wait must exceed that (we use 2× + margin) or healthy ranks
+    would be declared dead (split-brain)."""
+
+    heartbeat_timeout: float | None = None
+    consensus_timeout: float | None = None
+
+    def resolved(self, comm) -> tuple[float, float]:
+        hb = self.heartbeat_timeout
+        if hb is None:
+            policy = getattr(comm, "policy", None)
+            if policy is not None:
+                hb = 2.0 * policy.escalation_time(DEFAULT_TIMEOUT) + 0.25
+            else:
+                hb = 2.0 * DEFAULT_TIMEOUT
+        cs = self.consensus_timeout if self.consensus_timeout is not None else hb
+        return hb, cs
+
+
+def detect_survivors(
+    comm: ResilientCommunicator,
+    members: Sequence[int],
+    epoch: int,
+    config: ElasticConfig | None = None,
+) -> list[int]:
+    """Heartbeat round + one bitmap-consensus round over ``members``.
+
+    Collective: every live member must call it with the same ``members``
+    and ``epoch``. Returns the agreed survivor group (sorted ranks in
+    ``comm``'s numbering). Raises :class:`RankFailure` on the *caller* if
+    consensus evicted it (e.g. its heartbeats were lost — continuing alone
+    would fork the run).
+    """
+    cfg = config or ElasticConfig()
+    hb_timeout, cs_timeout = cfg.resolved(comm)
+    me = comm.rank
+    peers = [r for r in members if r != me]
+    heartbeat = np.array([_HB_TAG, float(epoch), float(me)])
+    for peer in peers:
+        try:
+            comm.send_ctrl(peer, heartbeat)
+        except Exception:  # noqa: BLE001 — a closed pipe to a dead peer is expected
+            pass
+
+    alive = {me}
+    for peer in peers:
+        deadline = time.monotonic() + hb_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                payload = comm.recv_ctrl(peer, remaining)
+            except (CommTimeoutError, RankFailure):
+                break
+            if (
+                payload.size == 3
+                and payload[0] == _HB_TAG
+                and int(payload[1]) == epoch
+            ):
+                alive.add(peer)
+                break
+            # control frame from an earlier epoch — keep looking
+
+    bitmap = np.zeros(comm.size)
+    bitmap[sorted(alive)] = 1.0
+    announce = np.concatenate(([_BM_TAG, float(epoch)], bitmap))
+    suspects = sorted(alive - {me})
+    for peer in suspects:
+        try:
+            comm.send_ctrl(peer, announce)
+        except Exception:  # noqa: BLE001
+            pass
+    agreed = bitmap.copy()
+    for peer in suspects:
+        deadline = time.monotonic() + cs_timeout
+        confirmed = False
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                payload = comm.recv_ctrl(peer, remaining)
+            except (CommTimeoutError, RankFailure):
+                break
+            if (
+                payload.size == 2 + comm.size
+                and payload[0] == _BM_TAG
+                and int(payload[1]) == epoch
+            ):
+                agreed = np.minimum(agreed, payload[2:])
+                confirmed = True
+                break
+        if not confirmed:
+            agreed[peer] = 0.0  # died between heartbeat and consensus
+
+    group = [r for r in sorted(members) if agreed[r] > 0]
+    if me not in group:
+        raise RankFailure(
+            me, f"evicted by survivor consensus (epoch {epoch}, survivors {group})"
+        )
+    return group
+
+
+def shrink_world(
+    comm: ResilientCommunicator,
+    members: Sequence[int],
+    epoch: int,
+    config: ElasticConfig | None = None,
+) -> SubCommunicator:
+    """Detect failures among ``members`` and return the shrunken world.
+
+    The returned :class:`SubCommunicator` translates ranks onto the
+    survivors; its ``size`` is the live world size, so ``mean`` allreduces
+    (and the VQMC driver's global statistics) re-normalise automatically.
+    """
+    group = detect_survivors(comm, members, epoch, config)
+    return SubCommunicator(comm, group)

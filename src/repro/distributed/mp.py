@@ -17,11 +17,20 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue
 import threading
+import time
+import traceback
+from multiprocessing.connection import wait as _conn_wait
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.distributed.comm import Communicator, CommTimeoutError, DEFAULT_TIMEOUT
+from repro.distributed.comm import (
+    Communicator,
+    CommTimeoutError,
+    DEFAULT_TIMEOUT,
+    OwnedFrame,
+    WorkerFailure,
+)
 
 __all__ = ["PipeCommunicator", "run_processes"]
 
@@ -46,7 +55,13 @@ class _EagerSender:
                 return
 
     def send(self, array: np.ndarray) -> None:
-        self._outbox.put(np.array(array, copy=True))
+        if isinstance(array, OwnedFrame):
+            # Ownership was handed over — no copy; strip the marker subclass
+            # (a zero-copy view) so pickling takes the plain-ndarray path.
+            array = array.view(np.ndarray)
+        else:
+            array = np.array(array, copy=True)
+        self._outbox.put(array)
 
     def close(self) -> None:
         self._outbox.put(None)
@@ -80,11 +95,20 @@ class PipeCommunicator(Communicator):
     def recv(self, source: int, timeout: float = DEFAULT_TIMEOUT) -> np.ndarray:
         self._check_peer(source)
         conn = self._conns[source]
-        if not conn.poll(timeout):
+        try:
+            if not conn.poll(timeout):
+                raise CommTimeoutError(
+                    f"rank {self._rank}: no message from rank {source} within {timeout}s"
+                )
+            out = conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            # Peer process exited and the pipe closed: surface it on the
+            # timeout path so the resilience layer's retry/escalation logic
+            # applies uniformly (a dead peer is just an instant timeout).
             raise CommTimeoutError(
-                f"rank {self._rank}: no message from rank {source} within {timeout}s"
-            )
-        out = conn.recv()
+                f"rank {self._rank}: connection to rank {source} closed "
+                f"(peer exited: {exc!r})"
+            ) from exc
         self._count_recv(out)
         return out
 
@@ -109,8 +133,11 @@ def _worker(rank, size, conn_map, result_conn, fn, args):
     try:
         result = fn(comm, rank, *args)
         result_conn.send((rank, "ok", result))
-    except BaseException as exc:  # noqa: BLE001 — shipped to the parent
-        result_conn.send((rank, "error", repr(exc)))
+    except BaseException:  # noqa: BLE001 — shipped to the parent
+        # Ship the full formatted traceback: the exception object itself may
+        # not pickle, and the parent needs the root cause with rank
+        # attribution, not a bare repr.
+        result_conn.send((rank, "error", traceback.format_exc()))
     finally:
         comm.close()
         result_conn.close()
@@ -124,8 +151,11 @@ def run_processes(
 ) -> list[Any]:
     """Run ``fn(comm, rank, *args)`` on ``world_size`` processes.
 
-    Returns the per-rank results (rank order). Raises ``RuntimeError`` if
-    any rank failed, with the remote exception repr in the message.
+    Returns the per-rank results (rank order). If any rank raised, a
+    :class:`WorkerFailure` attributes each remote traceback to its rank —
+    and ranks that produce no result while a peer has already failed are
+    reported as *wedged* (after a short grace period) instead of burning
+    the whole timeout and masking the root cause.
     """
     if world_size < 1:
         raise ValueError(f"world size must be >= 1, got {world_size}")
@@ -163,25 +193,46 @@ def run_processes(
             c.close()
 
     results: list[Any] = [None] * world_size
-    errors: list[str] = []
-    for r, conn in enumerate(result_parent):
-        if not conn.poll(timeout):
-            errors.append(f"rank {r}: no result within {timeout}s")
-            continue
-        try:
-            rank, status, payload = conn.recv()
-        except EOFError:
-            errors.append(f"rank {r}: worker died without reporting a result")
-            continue
-        if status == "ok":
-            results[rank] = payload
-        else:
-            errors.append(f"rank {rank}: {payload}")
+    failures: dict[int, str] = {}
+    conn_to_rank = {id(conn): r for r, conn in enumerate(result_parent)}
+    pending = {r: conn for r, conn in enumerate(result_parent)}
+    deadline = time.monotonic() + timeout
+    grace_deadline: float | None = None
+    failure_grace = min(10.0, timeout)
+    while pending:
+        now = time.monotonic()
+        if now >= deadline:
+            break
+        if failures and grace_deadline is None:
+            # Root cause is known; give the survivors a short grace period
+            # to report, then stop waiting instead of masking the failure
+            # behind the full timeout.
+            grace_deadline = now + failure_grace
+        if grace_deadline is not None and now >= grace_deadline:
+            break
+        wait_for = min(deadline, grace_deadline or deadline) - now
+        for conn in _conn_wait(list(pending.values()), timeout=max(0.0, min(wait_for, 0.25))):
+            rank = conn_to_rank[id(conn)]
+            del pending[rank]
+            try:
+                _, status, payload = conn.recv()
+            except (EOFError, OSError):
+                failures[rank] = "worker died without reporting a result"
+                continue
+            if status == "ok":
+                results[rank] = payload
+            else:
+                failures[rank] = payload
 
+    wedged = sorted(pending)
     for p in procs:
-        p.join(timeout=10.0)
+        p.join(timeout=0.5 if (failures or wedged) else 10.0)
         if p.is_alive():
             p.terminate()
-    if errors:
-        raise RuntimeError("distributed run failed: " + "; ".join(errors))
+    if failures:
+        raise WorkerFailure(failures, wedged=wedged)
+    if wedged:
+        raise CommTimeoutError(
+            f"ranks {wedged} produced no result within {timeout}s"
+        )
     return results

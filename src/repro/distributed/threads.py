@@ -13,11 +13,19 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
+import traceback
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.distributed.comm import Communicator, CommTimeoutError, DEFAULT_TIMEOUT
+from repro.distributed.comm import (
+    Communicator,
+    CommTimeoutError,
+    DEFAULT_TIMEOUT,
+    OwnedFrame,
+    WorkerFailure,
+)
 
 __all__ = ["ThreadCommunicator", "make_thread_group", "run_threaded"]
 
@@ -48,9 +56,14 @@ class ThreadCommunicator(Communicator):
     def send(self, dest: int, array: np.ndarray) -> None:
         self._check_peer(dest)
         # Copy: sender may mutate its buffer after send returns (MPI eager
-        # semantics), and queues share memory between threads.
+        # semantics), and queues share memory between threads. OwnedFrame
+        # buffers are handed over by the resilience layer — no copy needed.
         self._count_send(array)
-        self._mailboxes[dest][self._rank].put(np.array(array, copy=True))
+        if isinstance(array, OwnedFrame):
+            array = array.view(np.ndarray)  # ownership handed over: no copy
+        else:
+            array = np.array(array, copy=True)
+        self._mailboxes[dest][self._rank].put(array)
 
     def recv(self, source: int, timeout: float = DEFAULT_TIMEOUT) -> np.ndarray:
         self._check_peer(source)
@@ -89,17 +102,25 @@ def run_threaded(
 ) -> list[Any]:
     """Run ``fn(comm, rank, *args)`` on ``world_size`` threads; return results.
 
-    Exceptions in any rank are re-raised in the caller (first by rank).
+    Error propagation: when every rank either finished or failed, the
+    lowest failing rank's exception is re-raised unchanged (original type
+    and traceback), annotated with any co-failing ranks. A failure plus
+    ranks that never finished — wedged waiting on the failed peer — raises
+    :class:`WorkerFailure`, which attributes every traceback to its rank
+    instead of hiding the root cause behind a generic timeout. A timeout
+    with *no* failed rank stays a :class:`CommTimeoutError`.
     """
     comms = make_thread_group(world_size)
     results: list[Any] = [None] * world_size
     errors: list[BaseException | None] = [None] * world_size
+    tracebacks: list[str | None] = [None] * world_size
 
     def target(rank: int) -> None:
         try:
             results[rank] = fn(comms[rank], rank, *args)
         except BaseException as exc:  # noqa: BLE001 — propagated to caller
             errors[rank] = exc
+            tracebacks[rank] = traceback.format_exc()
 
     threads = [
         threading.Thread(target=target, args=(r,), daemon=True)
@@ -107,11 +128,25 @@ def run_threaded(
     ]
     for t in threads:
         t.start()
-    for t in threads:
-        t.join(timeout=timeout)
+    deadline = time.monotonic() + timeout
+    wedged: list[int] = []
+    for rank, t in enumerate(threads):
+        t.join(timeout=max(0.0, deadline - time.monotonic()))
         if t.is_alive():
-            raise CommTimeoutError(f"worker thread did not finish within {timeout}s")
-    for err in errors:
-        if err is not None:
-            raise err
+            wedged.append(rank)
+    failed = [r for r in range(world_size) if errors[r] is not None]
+    if failed:
+        if not wedged:
+            exc = errors[failed[0]]
+            if len(failed) > 1 and hasattr(exc, "add_note"):
+                exc.add_note(f"[run_threaded] raised on rank {failed[0]}; "
+                             f"ranks {failed} all failed")
+            raise exc
+        raise WorkerFailure(
+            {r: tracebacks[r] or repr(errors[r]) for r in failed}, wedged=wedged
+        ) from errors[failed[0]]
+    if wedged:
+        raise CommTimeoutError(
+            f"worker threads (ranks {wedged}) did not finish within {timeout}s"
+        )
     return results

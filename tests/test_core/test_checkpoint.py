@@ -5,7 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import VQMC, CheckpointCallback, load_checkpoint, save_checkpoint
+from repro.core import (
+    VQMC,
+    CheckpointCallback,
+    CheckpointCorruptError,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
 from repro.models import MADE, RBM
 from repro.optim import Adam
 from repro.samplers import AutoregressiveSampler
@@ -90,3 +97,81 @@ class TestCallback:
     def test_validation(self, tmp_path):
         with pytest.raises(ValueError):
             CheckpointCallback(tmp_path, every=0)
+
+
+class TestCrashSafety:
+    def test_truncated_file_raises_typed_error(self, small_tim, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        a = make_vqmc(small_tim)
+        save_checkpoint(a, path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CheckpointCorruptError, match="unreadable container"):
+            load_checkpoint(make_vqmc(small_tim), path)
+
+    def test_bit_flip_fails_crc(self, small_tim, tmp_path):
+        # flipping a payload byte leaves the zip parseable but breaks the
+        # CRC32 — the typed error must name the mismatch, not fail mid-load
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(make_vqmc(small_tim), path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorruptError):
+            verify_checkpoint(path)
+
+    def test_verify_returns_header(self, small_tim, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        vqmc = make_vqmc(small_tim)
+        vqmc.run(3, batch_size=16)
+        save_checkpoint(vqmc, path)
+        header = verify_checkpoint(path)
+        assert header["global_step"] == 3
+        assert header["model_class"] == "MADE"
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, data=np.ones(3))
+        with pytest.raises(CheckpointCorruptError, match="missing header"):
+            verify_checkpoint(path)
+
+    def test_no_tmp_leftovers_after_save(self, small_tim, tmp_path):
+        save_checkpoint(make_vqmc(small_tim), tmp_path / "ckpt.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt.npz"]
+
+    def test_restore_falls_back_when_newest_is_corrupt(self, small_tim, tmp_path):
+        vqmc = make_vqmc(small_tim)
+        cb = CheckpointCallback(tmp_path, every=2, keep_last=5)
+        vqmc.run(2, batch_size=16, callbacks=[cb])
+        good_params = vqmc.model.flat_parameters().copy()
+        vqmc.run(2, batch_size=16, callbacks=[cb])  # writes step-4 checkpoint
+
+        newest = cb._path_for(4)
+        newest.write_bytes(newest.read_bytes()[:100])  # simulated torn write
+        assert cb.newest_verified_step() == 2
+
+        fresh = make_vqmc(small_tim, seed=0, model_seed=0)
+        used = cb.restore_latest(fresh)
+        assert used == cb._path_for(2)
+        assert fresh.global_step == 2
+        assert np.array_equal(fresh.model.flat_parameters(), good_params)
+
+    def test_restore_at_step_pins_the_checkpoint(self, small_tim, tmp_path):
+        vqmc = make_vqmc(small_tim)
+        cb = CheckpointCallback(tmp_path, every=1, keep_last=10)
+        vqmc.run(3, batch_size=16, callbacks=[cb])
+        fresh = make_vqmc(small_tim)
+        assert cb.restore_latest(fresh, at_step=2) == cb._path_for(2)
+        assert fresh.global_step == 2
+        assert cb.restore_latest(fresh, at_step=99) is None
+
+    def test_rank_suffixed_files_are_disjoint(self, small_tim, tmp_path):
+        a = CheckpointCallback(tmp_path, every=1, rank=0)
+        b = CheckpointCallback(tmp_path, every=1, rank=1)
+        vqmc = make_vqmc(small_tim)
+        a.write(vqmc, 1)
+        b.write(vqmc, 1)
+        b.write(vqmc, 2)
+        assert a._path_for(1).name == "checkpoint_00000001.rank000.npz"
+        # each rank's directory scan only sees its own files
+        assert [s for s, _ in a.candidates()] == [1]
+        assert [s for s, _ in b.candidates()] == [2, 1]

@@ -1,0 +1,120 @@
+"""Elastic world management: detection, consensus, shrink semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    ElasticConfig,
+    RankFailure,
+    ResilientCommunicator,
+    RetryPolicy,
+    detect_survivors,
+    run_threaded,
+    shrink_world,
+)
+
+pytestmark = pytest.mark.faults
+
+FAST = ElasticConfig(heartbeat_timeout=1.0, consensus_timeout=1.0)
+
+
+def _resilient(comm):
+    return ResilientCommunicator(
+        comm, RetryPolicy(max_attempts=2, backoff_base=0.01, attempt_timeout=0.2)
+    )
+
+
+class TestElasticConfig:
+    def test_explicit_timeouts(self):
+        hb, cs = ElasticConfig(heartbeat_timeout=2.0, consensus_timeout=3.0).resolved(None)
+        assert hb == 2.0 and cs == 3.0
+
+    def test_derived_from_retry_policy(self):
+        class Stub:
+            policy = RetryPolicy(max_attempts=2, backoff_base=0.1, attempt_timeout=1.0)
+
+        hb, cs = ElasticConfig().resolved(Stub())
+        # 2 x escalation (2 x 1.0 + 0.1) + margin; consensus defaults to hb
+        assert hb == pytest.approx(2.0 * 2.1 + 0.25)
+        assert cs == hb
+
+
+class TestDetectSurvivors:
+    def test_all_alive_full_group(self):
+        def worker(comm, rank):
+            rc = _resilient(comm)
+            return detect_survivors(rc, [0, 1, 2], epoch=1, config=FAST)
+
+        for group in run_threaded(worker, 3):
+            assert group == [0, 1, 2]
+
+    def test_silent_rank_detected_dead(self):
+        def worker(comm, rank):
+            if rank == 2:
+                return "dead"  # never participates
+            rc = _resilient(comm)
+            return detect_survivors(rc, [0, 1, 2], epoch=1, config=FAST)
+
+        results = run_threaded(worker, 3)
+        assert results[0] == [0, 1]
+        assert results[1] == [0, 1]
+
+    def test_consensus_evicts_minority_view(self):
+        """A rank excluded by its peer's bitmap must refuse to continue."""
+
+        def worker(comm, rank):
+            rc = _resilient(comm)
+            if rank == 0:
+                # handcrafted protocol messages: heartbeat, then a bitmap
+                # claiming rank 1 is dead
+                rc.send_ctrl(1, np.array([1.0, 1.0, 0.0]))  # HB epoch 1
+                rc.send_ctrl(1, np.array([2.0, 1.0, 1.0, 0.0]))  # BM: only rank 0
+                return "done"
+            with pytest.raises(RankFailure, match="evicted"):
+                detect_survivors(rc, [0, 1], epoch=1, config=FAST)
+            return "evicted"
+
+        assert run_threaded(worker, 2)[1] == "evicted"
+
+    def test_stale_epoch_heartbeats_ignored(self):
+        def worker(comm, rank):
+            rc = _resilient(comm)
+            if rank == 0:
+                rc.send_ctrl(1, np.array([1.0, 1.0, 0.0]))  # stale: epoch 1
+                return detect_survivors(rc, [0, 1], epoch=2, config=FAST)
+            return detect_survivors(rc, [0, 1], epoch=2, config=FAST)
+
+        for group in run_threaded(worker, 2):
+            assert group == [0, 1]
+
+
+class TestShrinkWorld:
+    def test_mean_renormalised_by_live_world(self):
+        """After the shrink, op='mean' divides by the surviving world size —
+        the gradient-averaging semantics the trainer relies on."""
+
+        def worker(comm, rank):
+            if rank == 2:
+                return None
+            rc = _resilient(comm)
+            sub = shrink_world(rc, [0, 1, 2], epoch=1, config=FAST)
+            assert sub.size == 2
+            return sub.allreduce(np.full(3, float(rank + 1)), op="mean")
+
+        results = run_threaded(worker, 3)
+        for r in results[:2]:
+            assert np.allclose(r, (1 + 2) / 2)
+
+    def test_sub_comm_rank_translation(self):
+        def worker(comm, rank):
+            if rank == 0:
+                return None  # rank 0 dies: survivors get translated ranks
+            rc = _resilient(comm)
+            sub = shrink_world(rc, [0, 1, 2], epoch=1, config=FAST)
+            return sub.rank
+
+        results = run_threaded(worker, 3)
+        assert results[1] == 0  # global rank 1 -> sub rank 0
+        assert results[2] == 1

@@ -1,0 +1,232 @@
+"""Deterministic fault injection: plans, op-scoped events, callbacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    FaultEvent,
+    FaultInjectionCallback,
+    FaultPlan,
+    FaultyCommunicator,
+    InjectedRankCrash,
+    run_threaded,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultEvent:
+    def test_valid_event(self):
+        FaultEvent(kind="delay", rank=0, index=3).validate()
+        FaultEvent(kind="crash", rank=1, step=5).validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="gamma-ray", rank=0, index=0).validate()
+
+    def test_exactly_one_scope_required(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="delay", rank=0).validate()
+        with pytest.raises(ValueError):
+            FaultEvent(kind="delay", rank=0, index=1, step=1).validate()
+
+    def test_payload_kinds_are_send_only(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="corrupt", rank=0, index=0, op="recv").validate()
+        with pytest.raises(ValueError):
+            FaultEvent(kind="drop", rank=0, step=3).validate()
+
+    def test_delay_and_bits_validated(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="delay", rank=0, index=0, delay=0).validate()
+        with pytest.raises(ValueError):
+            FaultEvent(kind="corrupt", rank=0, index=0, bits=0).validate()
+
+
+class TestFaultPlan:
+    def test_random_plan_is_deterministic(self):
+        a = FaultPlan.random(seed=11, world_size=4)
+        b = FaultPlan.random(seed=11, world_size=4)
+        assert [e.describe() for e in a.events] == [e.describe() for e in b.events]
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.random(seed=1, world_size=4, n_faults=6)
+        b = FaultPlan.random(seed=2, world_size=4, n_faults=6)
+        assert [e.describe() for e in a.events] != [e.describe() for e in b.events]
+
+    def test_events_for_filters_by_rank_and_scope(self):
+        plan = FaultPlan([
+            FaultEvent(kind="delay", rank=0, index=1),
+            FaultEvent(kind="crash", rank=0, step=4),
+            FaultEvent(kind="delay", rank=1, index=2),
+        ])
+        op_scoped = plan.events_for(0, step_scoped=False)
+        assert [pos for pos, _ in op_scoped] == [0]
+        step_scoped = plan.events_for(0, step_scoped=True)
+        assert [pos for pos, _ in step_scoped] == [1]
+
+    def test_describe(self):
+        plan = FaultPlan([FaultEvent(kind="drop", rank=2, index=0)])
+        assert "rank 2: drop" in plan.describe()
+        assert "FaultPlan(empty)" == FaultPlan().describe()
+
+
+class TestFaultyCommunicator:
+    def _pair(self, plan):
+        """Run a 2-rank exchange where rank 0's sends go through the plan."""
+
+        def worker(comm, rank):
+            comm = FaultyCommunicator(comm, plan)
+            if rank == 0:
+                for i in range(4):
+                    comm.send(1, np.full(3, float(i)))
+                return None
+            return [comm.recv(0, timeout=5.0) for _ in range(4)]
+
+        return run_threaded(worker, 2)[1]
+
+    def test_transparent_without_events(self):
+        got = self._pair(FaultPlan())
+        assert [g[0] for g in got] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_duplicate_injects_extra_copy(self):
+        plan = FaultPlan([FaultEvent(kind="duplicate", rank=0, index=1)])
+        got = self._pair(plan)
+        # message 1 arrives twice; the receiver reads 4 frames total
+        assert [g[0] for g in got] == [0.0, 1.0, 1.0, 2.0]
+
+    def test_drop_removes_message(self):
+        plan = FaultPlan([FaultEvent(kind="drop", rank=0, index=2)])
+
+        def worker(comm, rank):
+            comm = FaultyCommunicator(comm, plan)
+            if rank == 0:
+                for i in range(4):
+                    comm.send(1, np.full(3, float(i)))
+                return None
+            return [comm.recv(0, timeout=5.0) for _ in range(3)]
+
+        got = run_threaded(worker, 2)[1]
+        assert [g[0] for g in got] == [0.0, 1.0, 3.0]  # message 2 is gone
+
+    def test_corrupt_flips_bits_deterministically(self):
+        plan1 = FaultPlan(
+            [FaultEvent(kind="corrupt", rank=0, index=0, transient=False)], seed=5
+        )
+        plan2 = FaultPlan(
+            [FaultEvent(kind="corrupt", rank=0, index=0, transient=False)], seed=5
+        )
+        a = self._corrupted_payload(plan1)
+        b = self._corrupted_payload(plan2)
+        assert np.array_equal(a.view(np.uint64), b.view(np.uint64))
+        clean = np.full(3, 7.0)
+        assert not np.array_equal(a.view(np.uint64), clean.view(np.uint64))
+
+    def _corrupted_payload(self, plan):
+        def worker(comm, rank):
+            comm = FaultyCommunicator(comm, plan)
+            if rank == 0:
+                comm.send(1, np.full(3, 7.0))
+                return None
+            return comm.recv(0, timeout=5.0)
+
+        return run_threaded(worker, 2)[1]
+
+    def test_transient_corrupt_sends_clean_copy_after(self):
+        plan = FaultPlan(
+            [FaultEvent(kind="corrupt", rank=0, index=0, transient=True)]
+        )
+
+        def worker(comm, rank):
+            comm = FaultyCommunicator(comm, plan)
+            if rank == 0:
+                comm.send(1, np.full(3, 7.0))
+                return None
+            first = comm.recv(0, timeout=5.0)
+            second = comm.recv(0, timeout=5.0)
+            return first, second
+
+        first, second = run_threaded(worker, 2)[1]
+        assert not np.array_equal(first.view(np.uint64), second.view(np.uint64))
+        assert np.array_equal(second, np.full(3, 7.0))
+
+    def test_crash_kills_rank_permanently(self):
+        plan = FaultPlan([FaultEvent(kind="crash", rank=0, index=1)])
+        comm_holder = {}
+
+        def worker(comm, rank):
+            fc = FaultyCommunicator(comm, plan)
+            comm_holder[rank] = fc
+            if rank == 0:
+                fc.send(1, np.ones(1))
+                with pytest.raises(InjectedRankCrash):
+                    fc.send(1, np.ones(1))
+                with pytest.raises(InjectedRankCrash):
+                    fc.recv(1, timeout=0.1)  # dead ranks stay dead
+                return "crashed"
+            return comm.recv(0, timeout=5.0)
+
+        results = run_threaded(worker, 2)
+        assert results[0] == "crashed"
+        assert comm_holder[0].injected["crash"] == 1
+
+    def test_delay_injects_straggler(self):
+        plan = FaultPlan([FaultEvent(kind="delay", rank=0, index=0, delay=0.05)])
+
+        def worker(comm, rank):
+            comm = FaultyCommunicator(comm, plan)
+            import time
+
+            if rank == 0:
+                t0 = time.perf_counter()
+                comm.send(1, np.ones(1))
+                return time.perf_counter() - t0
+            comm.recv(0, timeout=5.0)
+            return None
+
+        assert run_threaded(worker, 2)[0] >= 0.05
+
+    def test_peer_scoped_event_only_hits_that_peer(self):
+        plan = FaultPlan([FaultEvent(kind="drop", rank=0, index=0, peer=2)])
+
+        def worker(comm, rank):
+            comm = FaultyCommunicator(comm, plan)
+            if rank == 0:
+                comm.send(1, np.full(1, 10.0))  # not dropped (peer 1)
+                comm.send(2, np.full(1, 20.0))  # dropped (first send to peer 2)
+                comm.send(2, np.full(1, 30.0))
+                return None
+            if rank == 1:
+                return comm.recv(0, timeout=5.0)[0]
+            return comm.recv(0, timeout=5.0)[0]
+
+        results = run_threaded(worker, 3)
+        assert results[1] == 10.0
+        assert results[2] == 30.0
+
+
+class TestFaultInjectionCallback:
+    def test_crash_fires_at_scheduled_step(self):
+        plan = FaultPlan([FaultEvent(kind="crash", rank=0, step=3)])
+        cb = FaultInjectionCallback(plan, rank=0)
+        cb.on_step(1, None)
+        cb.on_step(2, None)
+        with pytest.raises(InjectedRankCrash):
+            cb.on_step(3, None)
+        assert cb.injected["crash"] == 1
+
+    def test_other_ranks_unaffected(self):
+        plan = FaultPlan([FaultEvent(kind="crash", rank=2, step=3)])
+        cb = FaultInjectionCallback(plan, rank=0)
+        for step in range(1, 6):
+            cb.on_step(step, None)  # no raise
+        assert cb.injected == {}
+
+    def test_fires_once(self):
+        plan = FaultPlan([FaultEvent(kind="delay", rank=0, step=2, delay=0.01)])
+        cb = FaultInjectionCallback(plan, rank=0)
+        cb.on_step(2, None)
+        cb.on_step(2, None)  # replayed step after a restore: already fired
+        assert cb.injected["delay"] == 1

@@ -1,0 +1,271 @@
+"""Resilient communication: framing, retries, escalation, stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    ChecksumError,
+    FaultEvent,
+    FaultPlan,
+    FaultyCommunicator,
+    RankFailure,
+    ResilientCommunicator,
+    RetryPolicy,
+    run_threaded,
+)
+from repro.distributed.resilient import _CTRL_MAGIC, _DATA_MAGIC, _frame, _unframe
+
+pytestmark = pytest.mark.faults
+
+
+class TestFraming:
+    def test_roundtrip_1d(self):
+        a = np.arange(17.0)
+        kind, seq, out = _unframe(_frame(_DATA_MAGIC, 4, a))
+        assert kind == "data" and seq == 4
+        assert np.array_equal(out, a)
+
+    def test_roundtrip_2d(self):
+        a = np.arange(12.0).reshape(3, 4)
+        kind, seq, out = _unframe(_frame(_DATA_MAGIC, 0, a))
+        assert out.shape == (3, 4)
+        assert np.array_equal(out, a)
+
+    def test_roundtrip_scalar_and_empty(self):
+        kind, _, out = _unframe(_frame(_DATA_MAGIC, 0, np.array(3.5)))
+        assert out.shape == () and out == 3.5
+        _, _, empty = _unframe(_frame(_DATA_MAGIC, 0, np.empty(0)))
+        assert empty.size == 0
+
+    def test_ctrl_frames_tagged(self):
+        kind, seq, _ = _unframe(_frame(_CTRL_MAGIC, -1, np.ones(2)))
+        assert kind == "ctrl" and seq == -1
+
+    def test_nan_payload_survives(self):
+        a = np.array([np.nan, np.inf, -0.0, 1.0])
+        _, _, out = _unframe(_frame(_DATA_MAGIC, 0, a))
+        assert np.array_equal(out.view(np.uint64), a.view(np.uint64))
+
+    def test_any_single_bit_flip_detected(self):
+        frame = _frame(_DATA_MAGIC, 0, np.arange(8.0))
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            buf = bytearray(np.asarray(frame).tobytes())
+            bit = int(rng.integers(len(buf) * 8))
+            buf[bit // 8] ^= 1 << (bit % 8)
+            flipped = np.frombuffer(bytes(buf), dtype=np.float64)
+            with pytest.raises(ChecksumError):
+                _unframe(flipped)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ChecksumError):
+            _unframe(np.ones(2))  # too short
+        with pytest.raises(ChecksumError):
+            _unframe(np.zeros(10))  # bad magic
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-1.0)
+
+    def test_backoff_doubles(self):
+        p = RetryPolicy(backoff_base=0.1)
+        assert p.backoff(0) == pytest.approx(0.1)
+        assert p.backoff(2) == pytest.approx(0.4)
+
+    def test_escalation_time(self):
+        p = RetryPolicy(max_attempts=3, backoff_base=0.1, attempt_timeout=1.0)
+        # 3 attempts x 1 s + backoffs 0.1 + 0.2
+        assert p.escalation_time() == pytest.approx(3.3)
+
+
+def _wrap(comm, plan=None, **kw):
+    inner = FaultyCommunicator(comm, plan) if plan is not None else comm
+    return ResilientCommunicator(inner, RetryPolicy(**kw))
+
+
+class TestResilientChannel:
+    def test_plain_exchange(self):
+        def worker(comm, rank):
+            rc = _wrap(comm)
+            if rank == 0:
+                rc.send(1, np.arange(5.0))
+                return None
+            return rc.recv(0, timeout=5.0)
+
+        assert np.array_equal(run_threaded(worker, 2)[1], np.arange(5.0))
+
+    def test_transient_corruption_recovered_bit_exactly(self):
+        plan = FaultPlan(
+            [FaultEvent(kind="corrupt", rank=0, index=1, transient=True)]
+        )
+        stats = {}
+
+        def worker(comm, rank):
+            rc = _wrap(comm, plan if rank == 0 else None)
+            stats[rank] = rc.stats
+            if rank == 0:
+                rc.send(1, np.full(4, 1.0))
+                rc.send(1, np.full(4, 2.0))  # corrupted, then retransmitted
+                rc.send(1, np.full(4, 3.0))
+                return None
+            return [rc.recv(0, timeout=5.0) for _ in range(3)]
+
+        got = run_threaded(worker, 2)[1]
+        assert [g[0] for g in got] == [1.0, 2.0, 3.0]
+        assert stats[1].checksum_errors == 1
+        assert stats[1].retries == 1
+
+    def test_duplicate_discarded(self):
+        plan = FaultPlan([FaultEvent(kind="duplicate", rank=0, index=0)])
+        stats = {}
+
+        def worker(comm, rank):
+            rc = _wrap(comm, plan if rank == 0 else None)
+            stats[rank] = rc.stats
+            if rank == 0:
+                rc.send(1, np.full(2, 5.0))
+                rc.send(1, np.full(2, 6.0))
+                return None
+            return [rc.recv(0, timeout=5.0) for _ in range(2)]
+
+        got = run_threaded(worker, 2)[1]
+        assert [g[0] for g in got] == [5.0, 6.0]
+        assert stats[1].duplicates_discarded == 1
+
+    def test_persistent_drop_escalates_to_rank_failure(self):
+        plan = FaultPlan([FaultEvent(kind="drop", rank=0, index=0)])
+        stats = {}
+
+        def worker(comm, rank):
+            rc = _wrap(
+                comm, plan if rank == 0 else None,
+                max_attempts=2, backoff_base=0.01, attempt_timeout=0.1,
+            )
+            stats[rank] = rc.stats
+            if rank == 0:
+                rc.send(1, np.ones(2))  # dropped: never arrives
+                return None
+            with pytest.raises(RankFailure) as info:
+                rc.recv(0, timeout=0.1)
+            return info.value.rank
+
+        assert run_threaded(worker, 2)[1] == 0
+        assert stats[1].rank_failures == 1
+
+    def test_persistent_corruption_escalates(self):
+        plan = FaultPlan([
+            FaultEvent(kind="corrupt", rank=0, index=0, transient=False),
+        ])
+
+        def worker(comm, rank):
+            rc = _wrap(
+                comm, plan if rank == 0 else None,
+                max_attempts=1, backoff_base=0.0, attempt_timeout=0.2,
+            )
+            if rank == 0:
+                rc.send(1, np.ones(8))
+                return None
+            with pytest.raises(RankFailure, match="corruption"):
+                rc.recv(0, timeout=0.2)
+            return "escalated"
+
+        assert run_threaded(worker, 2)[1] == "escalated"
+
+    def test_message_loss_detected_by_sequence_gap(self):
+        # Frame seq 0 dropped below the resilient layer, seq 1 arrives: the
+        # receiver must flag loss, not silently deliver out of order.
+        plan = FaultPlan([FaultEvent(kind="drop", rank=0, index=0)])
+
+        def worker(comm, rank):
+            rc = _wrap(comm, plan if rank == 0 else None,
+                       max_attempts=3, backoff_base=0.01, attempt_timeout=0.5)
+            if rank == 0:
+                rc.send(1, np.full(2, 1.0))  # dropped
+                rc.send(1, np.full(2, 2.0))  # arrives with seq 1
+                return None
+            with pytest.raises(RankFailure, match="loss"):
+                rc.recv(0, timeout=0.5)
+            return "detected"
+
+        assert run_threaded(worker, 2)[1] == "detected"
+
+    def test_ctrl_frame_interrupts_data_recv(self):
+        def worker(comm, rank):
+            rc = _wrap(comm)
+            if rank == 0:
+                rc.send_ctrl(1, np.array([9.0, 9.0]))
+                return None
+            with pytest.raises(RankFailure, match="failure detection"):
+                rc.recv(0, timeout=5.0)
+            # the ctrl frame is preserved for the detection protocol
+            return rc.recv_ctrl(0, timeout=1.0)
+
+        assert np.array_equal(run_threaded(worker, 2)[1], [9.0, 9.0])
+
+    def test_recv_ctrl_skips_stale_data(self):
+        def worker(comm, rank):
+            rc = _wrap(comm)
+            if rank == 0:
+                rc.send(1, np.ones(3))  # stale data from an aborted collective
+                rc.send_ctrl(1, np.array([42.0]))
+                return None
+            return rc.recv_ctrl(0, timeout=5.0), rc
+
+        payload, rc = run_threaded(worker, 2)[1]
+        assert payload[0] == 42.0
+        # the stale data frame advanced the sequence counter
+        assert rc._recv_seq[0] == 1
+
+
+class TestResilientCollectives:
+    def test_allreduce_matches_raw(self):
+        def worker(comm, rank):
+            rc = _wrap(comm)
+            return rc.allreduce(np.full(7, float(rank + 1)))
+
+        results = run_threaded(worker, 4)
+        for r in results:
+            assert np.allclose(r, 1 + 2 + 3 + 4)
+
+    def test_allreduce_mean_under_transient_faults_is_bit_exact(self):
+        plan = FaultPlan([
+            FaultEvent(kind="corrupt", rank=1, index=0, transient=True),
+            FaultEvent(kind="duplicate", rank=2, index=1),
+            FaultEvent(kind="delay", rank=0, index=0, delay=0.02),
+        ])
+
+        def worker(comm, rank, faulty):
+            rc = _wrap(comm, plan if faulty else None)
+            data = np.arange(8.0) * (rank + 1)
+            return rc.allreduce(data, op="mean")
+
+        clean = run_threaded(lambda c, r: worker(c, r, False), 3)
+        faulted = run_threaded(lambda c, r: worker(c, r, True), 3)
+        for c, f in zip(clean, faulted):
+            assert np.array_equal(c, f)
+
+    def test_broadcast_and_barrier(self):
+        def worker(comm, rank):
+            rc = _wrap(comm)
+            rc.barrier()
+            return rc.broadcast(np.arange(4.0) if rank == 0 else np.zeros(4))
+
+        for r in run_threaded(worker, 3):
+            assert np.array_equal(r, np.arange(4.0))
+
+    def test_stats_snapshot_includes_recovery_counters(self):
+        def worker(comm, rank):
+            rc = _wrap(comm)
+            rc.allreduce(np.ones(4))
+            return rc.stats.snapshot()
+
+        snap = run_threaded(worker, 2)[0]
+        for key in ("retries", "checksum_errors", "duplicates_discarded",
+                    "timeouts_recovered", "rank_failures"):
+            assert snap[key] == 0
