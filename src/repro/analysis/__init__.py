@@ -1,0 +1,65 @@
+"""Correctness tooling: repo-specific static analysis + runtime sanitizers.
+
+The paper's scalability claims rest on invariants the runtime must never
+silently break: exact, reproducible sampling (seeded RNG streams,
+bit-identical fast paths) and congruent collectives across ranks (every
+rank issues the same allreduce/broadcast sequence, or the world deadlocks).
+jVMC leans on JAX's tracer to catch such misuse at trace time and the MPI
+world has MUST for collective matching; this package is our equivalent,
+two-pronged:
+
+- **Static** — :mod:`repro.analysis.lint`: an AST lint engine with a
+  pluggable rule registry (:mod:`repro.analysis.rules`: determinism,
+  autograd and distributed hygiene), inline suppressions, and a CLI
+  (``python tools/lint.py src``) that gates CI.
+- **Dynamic** — :class:`CommSanitizer` cross-validates a fingerprint of
+  every collective across ranks, turning would-be deadlocks into immediate
+  :class:`CollectiveMismatchError` diagnostics naming both call sites; and
+  :class:`GraphSanitizer` arms the tensor engine with buffer
+  version-counter/fingerprint checks (in-place mutation of graph tensors)
+  and NaN/Inf first-origin tracking.
+
+See ``docs/static_analysis.md`` for the rule catalogue and usage.
+"""
+
+from repro.analysis.comm_sanitizer import (
+    CollectiveMismatchError,
+    CollectiveRecord,
+    CommSanitizer,
+)
+from repro.analysis.graph_sanitizer import (
+    GraphSanitizer,
+    InPlaceMutationError,
+    NonFiniteError,
+    NonFiniteOrigin,
+)
+from repro.analysis.lint import (
+    Finding,
+    LintReport,
+    Rule,
+    get_rule,
+    iter_rules,
+    lint_file,
+    lint_paths,
+    register,
+    rule_ids,
+)
+
+__all__ = [
+    "CollectiveMismatchError",
+    "CollectiveRecord",
+    "CommSanitizer",
+    "GraphSanitizer",
+    "InPlaceMutationError",
+    "NonFiniteError",
+    "NonFiniteOrigin",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "register",
+    "get_rule",
+    "iter_rules",
+    "rule_ids",
+    "lint_file",
+    "lint_paths",
+]

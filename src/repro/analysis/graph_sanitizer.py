@@ -1,0 +1,205 @@
+"""Runtime autograd sanitizer: in-place-mutation and NaN/Inf origin checks.
+
+The tensor engine's backward closures alias the buffers they saw at record
+time (closure-based tape, see :mod:`repro.tensor.tensor`). Two bug classes
+exploit that silently:
+
+1. **In-place mutation between forward and backward** — an optimizer step,
+   a parameter load, or a stray ``arr[...] = ...`` on a tensor that still
+   sits in a live graph. The gradients come out wrong; nothing raises.
+2. **Non-finite values** — a NaN born in one op surfaces thousands of ops
+   later as a diverged loss, with the origin long gone.
+
+:class:`GraphSanitizer` is the dynamic counterpart of the static
+``ag-tensor-mutation`` lint rule. While active (a context manager,
+per-thread — each rank of the threaded backend opts in independently), the
+engine calls back into it:
+
+- at every op it snapshots ``(tensor, version, buffer fingerprint)`` for
+  the op's inputs *and* output, and checks the output for fresh NaN/Inf;
+- at ``backward`` it re-fingerprints before running each closure and
+  raises :class:`~repro.tensor.tensor.InPlaceMutationError` naming the op's
+  call site, distinguishing *tracked* mutation (version counter bumped by a
+  whitelisted mutator while the graph was live) from *untracked* mutation
+  (buffer bytes changed behind the counter's back).
+
+Fingerprints sample ``sample`` evenly strided elements plus the buffer's
+size — O(1) per op, so the sanitizer stays usable inside real training
+loops; raise ``sample`` (or pass ``sample=0`` for full-buffer hashing) when
+hunting a mutation that touches only a few elements.
+
+Usage::
+
+    from repro.analysis import GraphSanitizer
+
+    with GraphSanitizer() as sanitizer:
+        loss = model.log_prob(batch).sum()
+        loss.backward()          # raises on mutation / fresh NaN
+    sanitizer.nonfinite_origins  # [] — or the recorded origins, if
+                                 # constructed with nonfinite="record"
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor import tensor as _tensor_mod
+from repro.tensor.tensor import InPlaceMutationError, NonFiniteError, Tensor
+
+__all__ = [
+    "GraphSanitizer",
+    "InPlaceMutationError",
+    "NonFiniteError",
+    "NonFiniteOrigin",
+]
+
+_ENGINE_FILES = (_tensor_mod.__file__, __file__)
+
+
+def _call_site() -> str:
+    frame = sys._getframe(2)
+    while frame is not None and frame.f_code.co_filename in _ENGINE_FILES:
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    path = frame.f_code.co_filename
+    tail = "/".join(path.replace("\\", "/").split("/")[-3:])
+    return f"{tail}:{frame.f_lineno}"
+
+
+@dataclass(frozen=True)
+class NonFiniteOrigin:
+    """First op that turned all-finite inputs into a non-finite output."""
+
+    site: str
+    shape: tuple[int, ...]
+    n_nan: int
+    n_inf: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_nan} NaN / {self.n_inf} Inf first produced in an op "
+            f"with output shape {self.shape} at {self.site}"
+        )
+
+
+class GraphSanitizer:
+    """Context manager enabling the tensor engine's sanitizer mode.
+
+    Parameters
+    ----------
+    check_mutation:
+        Snapshot-and-verify buffers of every recorded op (default True).
+    check_finite:
+        Track the first origin of NaN/Inf outputs (default True).
+    nonfinite:
+        ``"raise"`` (default) raises :class:`NonFiniteError` at the origin;
+        ``"record"`` appends a :class:`NonFiniteOrigin` to
+        :attr:`nonfinite_origins` and lets the run continue.
+    sample:
+        Elements per buffer fingerprint (evenly strided); ``0`` hashes the
+        full buffer (exhaustive, O(n) per op).
+    """
+
+    def __init__(
+        self,
+        check_mutation: bool = True,
+        check_finite: bool = True,
+        nonfinite: str = "raise",
+        sample: int = 16,
+    ):
+        if nonfinite not in ("raise", "record"):
+            raise ValueError(f"nonfinite must be 'raise' or 'record', got {nonfinite!r}")
+        if sample < 0:
+            raise ValueError(f"sample must be >= 0, got {sample}")
+        self.check_mutation = bool(check_mutation)
+        self.check_finite = bool(check_finite)
+        self.nonfinite = nonfinite
+        self.sample = int(sample)
+        self.nonfinite_origins: list[NonFiniteOrigin] = []
+        self.nodes_recorded = 0
+        self.nodes_verified = 0
+        self.mutations_detected = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "GraphSanitizer":
+        if _tensor_mod.graph_sanitizer_state() is not None:
+            raise RuntimeError("a GraphSanitizer is already active on this thread")
+        _tensor_mod.set_graph_sanitizer(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _tensor_mod.set_graph_sanitizer(None)
+
+    # -- engine callbacks -----------------------------------------------------
+
+    def on_node(self, out: Tensor, parents, recorded: bool) -> None:
+        """Called by ``Tensor._make`` for every op output."""
+        if self.check_finite:
+            finite = np.isfinite(out.data)
+            if not finite.all() and all(
+                np.isfinite(p.data).all() for p in parents
+            ):
+                n_bad = int(finite.size - np.count_nonzero(finite))
+                n_nan = int(np.count_nonzero(np.isnan(out.data)))
+                origin = NonFiniteOrigin(
+                    site=_call_site(),
+                    shape=tuple(out.shape),
+                    n_nan=n_nan,
+                    n_inf=n_bad - n_nan,
+                )
+                self.nonfinite_origins.append(origin)
+                if self.nonfinite == "raise":
+                    raise NonFiniteError(origin.describe())
+        if recorded and self.check_mutation:
+            self.nodes_recorded += 1
+            out._sanitize = (
+                _call_site(),
+                tuple(
+                    (t, t._version, self._fingerprint(t.data))
+                    for t in (*parents, out)
+                ),
+            )
+
+    def verify(self, node: Tensor) -> None:
+        """Called by ``Tensor.backward`` before running a node's closure."""
+        saved = node._sanitize
+        if saved is None:
+            return
+        self.nodes_verified += 1
+        site, snapshots = saved
+        for t, version, fingerprint in snapshots:
+            label = f"tensor {t.name!r}" if t.name else f"tensor of shape {t.shape}"
+            if t._version != version:
+                self.mutations_detected += 1
+                raise InPlaceMutationError(
+                    f"{label} was mutated in place (tracked: buffer version "
+                    f"{version} -> {t._version}) after being recorded by the "
+                    f"op at {site}; backward closures alias the recorded "
+                    "buffer, so its gradients are now corrupt — finish "
+                    "backward before mutating, or detach first"
+                )
+            if self._fingerprint(t.data) != fingerprint:
+                self.mutations_detected += 1
+                raise InPlaceMutationError(
+                    f"{label} was mutated in place (untracked: buffer "
+                    "contents changed with no bump_version()) after being "
+                    f"recorded by the op at {site}; backward closures alias "
+                    "the recorded buffer, so its gradients are now corrupt"
+                )
+
+    # -- fingerprinting -------------------------------------------------------
+
+    def _fingerprint(self, data: np.ndarray) -> tuple:
+        flat = np.ravel(data)
+        n = flat.size
+        if n == 0:
+            return (0, b"")
+        if self.sample and n > self.sample:
+            idx = np.linspace(0, n - 1, num=self.sample).astype(np.intp)
+            flat = flat[idx]
+        return (n, flat.tobytes())

@@ -1,0 +1,330 @@
+"""AST-based lint engine with a pluggable rule registry.
+
+The repo's correctness story rests on invariants no general-purpose linter
+knows about: seeded RNG streams everywhere (bit-identical replays), an
+autograd engine whose buffers must not be mutated behind the tape's back,
+and collectives that every rank must issue congruently or the world
+deadlocks. This module is the *static* half of :mod:`repro.analysis` — it
+parses source files once, hands the tree to every registered
+:class:`Rule`, and reports :class:`Finding`\\ s with precise
+``path:line:col rule-id message`` locations.
+
+Rules
+-----
+A rule is a subclass of :class:`Rule` with a unique ``id``, a ``category``
+(``determinism`` / ``autograd`` / ``distributed`` / ...), and a ``check``
+method yielding findings. Registration is declarative::
+
+    @register
+    class MyRule(Rule):
+        id = "my-rule"
+        category = "determinism"
+        description = "what it catches and why it matters"
+
+        def check(self, ctx):
+            for node in ast.walk(ctx.tree):
+                ...
+                yield self.finding(ctx, node, "message")
+
+The built-in catalogue lives in :mod:`repro.analysis.rules` and is loaded
+on first use; external code can register more rules before calling
+:func:`lint_paths`.
+
+Suppressions
+------------
+Two comment forms, both requiring an explicit rule list (or ``all``), with
+an optional ``--`` justification that reviewers can audit:
+
+- per-line (trailing comment on the offending line)::
+
+    t = time.time()  # repro-lint: disable=det-wall-clock -- log timestamp
+
+- per-file (a comment on a line of its own, anywhere in the file)::
+
+    # repro-lint: file-disable=dist-recv-timeout -- caller owns the deadline
+
+Suppressed findings are not dropped silently: :class:`LintReport` carries
+them in ``suppressed`` and the CLI prints the count.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "Rule",
+    "register",
+    "iter_rules",
+    "get_rule",
+    "rule_ids",
+    "lint_file",
+    "lint_paths",
+]
+
+#: marker introducing a suppression comment
+_MARKER = "repro-lint:"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class Suppressions:
+    """Parsed ``repro-lint:`` comments of one file."""
+
+    def __init__(self, file_rules: set[str], line_rules: dict[int, set[str]]):
+        self.file_rules = file_rules
+        self.line_rules = line_rules
+
+    def covers(self, finding: Finding) -> bool:
+        for rules in (self.file_rules, self.line_rules.get(finding.line, ())):
+            if "all" in rules or finding.rule_id in rules:
+                return True
+        return False
+
+    @classmethod
+    def parse(cls, source: str) -> "Suppressions":
+        file_rules: set[str] = set()
+        line_rules: dict[int, set[str]] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return cls(set(), {})
+        for line, comment in comments:
+            body = comment.lstrip("#").strip()
+            if not body.startswith(_MARKER):
+                continue
+            directive = body[len(_MARKER):].strip()
+            # Strip the justification; it is for humans, not the engine.
+            directive = directive.split("--", 1)[0].strip()
+            if directive.startswith("file-disable="):
+                file_rules.update(_split_rules(directive[len("file-disable="):]))
+            elif directive.startswith("disable="):
+                line_rules.setdefault(line, set()).update(
+                    _split_rules(directive[len("disable="):])
+                )
+        return cls(file_rules, line_rules)
+
+
+def _split_rules(spec: str) -> set[str]:
+    return {part.strip() for part in spec.split(",") if part.strip()}
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may look at for one file."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    #: dotted module name when the file lives under a ``repro`` package
+    #: directory (``src/repro/optim/sgd.py`` -> ``repro.optim.sgd``), else
+    #: ``None``; rules use it for module-scoped whitelists.
+    module: str | None
+
+    def in_module(self, prefixes: Sequence[str]) -> bool:
+        if self.module is None:
+            return False
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+
+class Rule:
+    """Base class for lint rules. Subclass, set metadata, implement check."""
+
+    id: str = ""
+    category: str = ""
+    description: str = ""
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and add to the global registry."""
+    rule = rule_cls()
+    if not rule.id or not rule.category or not rule.description:
+        raise ValueError(f"{rule_cls.__name__} must set id, category, description")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def _load_builtin_rules() -> None:
+    # Imported for the registration side effect; deferred so that
+    # `import repro.analysis.lint` alone cannot recurse into rule modules.
+    from repro.analysis import rules  # noqa: F401
+
+
+def iter_rules() -> list[Rule]:
+    _load_builtin_rules()
+    return [_REGISTRY[i] for i in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    _load_builtin_rules()
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    _load_builtin_rules()
+    return _REGISTRY[rule_id]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run: active findings plus audit trail."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def merge(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_scanned += other.files_scanned
+
+    def sort(self) -> None:
+        key = lambda f: (f.path, f.line, f.col, f.rule_id)  # noqa: E731
+        self.findings.sort(key=key)
+        self.suppressed.sort(key=key)
+
+    def to_dict(self) -> dict:
+        return {
+            "files_scanned": self.files_scanned,
+            "finding_count": len(self.findings),
+            "suppressed_count": len(self.suppressed),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+
+def _module_name(path: Path) -> str | None:
+    parts = list(path.with_suffix("").parts)
+    try:
+        i = parts.index("repro")
+    except ValueError:
+        return None
+    mod = parts[i:]
+    if mod[-1] == "__init__":
+        mod = mod[:-1]
+    return ".".join(mod)
+
+
+def lint_file(
+    path: str | Path,
+    rules: Sequence[Rule] | None = None,
+    source: str | None = None,
+) -> LintReport:
+    """Lint one file; a syntax error becomes a ``lint-parse`` finding."""
+    path = Path(path)
+    if source is None:
+        source = path.read_text()
+    report = LintReport(files_scanned=1)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                rule_id="lint-parse",
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return report
+    ctx = LintContext(
+        path=str(path), source=source, tree=tree, module=_module_name(path)
+    )
+    suppressions = Suppressions.parse(source)
+    for rule in (iter_rules() if rules is None else rules):
+        for finding in rule.check(ctx):
+            if suppressions.covers(finding):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    report.sort()
+    return report
+
+
+def _iter_python_files(root: Path) -> Iterator[Path]:
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if any(part.startswith(".") or part == "__pycache__" for part in path.parts):
+            continue
+        yield path
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Sequence[str] | None = None,
+) -> LintReport:
+    """Lint every ``*.py`` under ``paths``; restrict rules with ``select``."""
+    if select is None:
+        rules: Sequence[Rule] | None = None
+    else:
+        rules = [get_rule(rule_id) for rule_id in select]
+    report = LintReport()
+    for root in paths:
+        for path in _iter_python_files(Path(root)):
+            report.merge(lint_file(path, rules=rules))
+    report.sort()
+    return report

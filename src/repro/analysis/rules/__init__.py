@@ -1,0 +1,15 @@
+"""Built-in rule catalogue; importing this package registers every rule.
+
+Split by invariant family:
+
+- :mod:`repro.analysis.rules.determinism` — seeded-RNG / wall-clock hygiene
+  (bit-identical replays are a correctness contract, not a nicety).
+- :mod:`repro.analysis.rules.autograd` — tape-safety of the tensor engine
+  (no in-place mutation behind the graph's back, no float equality on
+  computed results).
+- :mod:`repro.analysis.rules.distributed` — collective congruence and
+  deadlock guards (the failure modes the fault layer can observe but not
+  diagnose).
+"""
+
+from repro.analysis.rules import autograd, determinism, distributed  # noqa: F401

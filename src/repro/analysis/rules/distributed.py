@@ -1,0 +1,118 @@
+"""Distributed-hygiene rules.
+
+Collectives are a *congruence* contract: every rank of a communicator must
+issue the same sequence of collective calls with compatible arguments, or
+the world deadlocks — the failure mode the fault-injection layer (PR 2) can
+observe but not diagnose. The dynamic
+:class:`~repro.analysis.comm_sanitizer.CommSanitizer` verifies congruence
+at runtime; these rules flag the two lexical patterns that cause most
+divergences before a single rank is spawned.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.lint import Finding, LintContext, Rule, register
+
+#: Communicator methods that are collective (every rank must participate)
+_COLLECTIVES = {"allreduce", "broadcast", "allgather", "reduce", "barrier", "split"}
+
+
+def _mentions_rank(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "rank":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "rank":
+            return True
+    return False
+
+
+class _RankBranchVisitor(ast.NodeVisitor):
+    """Record collective calls lexically inside rank-dependent branches."""
+
+    def __init__(self) -> None:
+        self.rank_depth = 0
+        self.hits: list[tuple[ast.Call, str]] = []
+
+    def _visit_branching(self, node: ast.If | ast.While) -> None:
+        dependent = _mentions_rank(node.test)
+        if dependent:
+            self.rank_depth += 1
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        if dependent:
+            self.rank_depth -= 1
+
+    visit_If = _visit_branching
+    visit_While = _visit_branching
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            self.rank_depth > 0
+            and isinstance(func, ast.Attribute)
+            and func.attr in _COLLECTIVES
+        ):
+            self.hits.append((node, func.attr))
+        self.generic_visit(node)
+
+
+@register
+class RankDependentCollective(Rule):
+    id = "dist-rank-collective"
+    category = "distributed"
+    description = (
+        "collective call lexically nested under a rank-dependent branch; "
+        "unless every rank takes a congruent path this deadlocks the world "
+        "— hoist the collective out of the branch (reduce/broadcast already "
+        "handle root-vs-rest asymmetry internally)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        visitor = _RankBranchVisitor()
+        visitor.visit(ctx.tree)
+        for node, name in visitor.hits:
+            yield self.finding(
+                ctx,
+                node,
+                f".{name}() inside a rank-dependent branch; every rank must "
+                "issue the same collective sequence — hoist it out (or "
+                "suppress with the congruence argument spelled out)",
+            )
+
+
+@register
+class RecvWithoutTimeout(Rule):
+    id = "dist-recv-timeout"
+    category = "distributed"
+    description = (
+        "point-to-point recv without an explicit timeout; a silent peer "
+        "then wedges the rank for the global default instead of the "
+        "caller's deadline — pass timeout= (DEFAULT_TIMEOUT if the default "
+        "really is intended)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "recv"):
+                continue
+            # Zero-arg recv is a different API (multiprocessing.Connection);
+            # Communicator.recv always names its source peer.
+            if not node.args:
+                continue
+            if len(node.args) >= 2:
+                continue  # positional timeout
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                ".recv(source) without an explicit timeout; name the "
+                "deadline (timeout=...) so a dead peer surfaces as "
+                "CommTimeoutError on *this* call site's terms",
+            )

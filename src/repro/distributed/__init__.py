@@ -40,6 +40,7 @@ from repro.distributed.faults import (
     FaultPlan,
     FaultyCommunicator,
     InjectedRankCrash,
+    MismatchedCollectiveInjector,
 )
 from repro.distributed.resilient import ResilientCommunicator, RetryPolicy
 from repro.distributed.elastic import ElasticConfig, detect_survivors, shrink_world
@@ -65,6 +66,7 @@ __all__ = [
     "FaultyCommunicator",
     "FaultInjectionCallback",
     "InjectedRankCrash",
+    "MismatchedCollectiveInjector",
     "ResilientCommunicator",
     "RetryPolicy",
     "ElasticConfig",

@@ -19,6 +19,8 @@ sends) as documented on :class:`repro.distributed.comm.Communicator`, so
 ring steps where every rank sends before receiving cannot deadlock.
 """
 
+# repro-lint: file-disable=dist-recv-timeout -- algorithm building blocks: every hop inherits the backend's DEFAULT_TIMEOUT contract; per-hop deadlines belong to the resilient layer wrapping the communicator, not to the ring/tree steps
+
 from __future__ import annotations
 
 import numpy as np

@@ -215,6 +215,16 @@ class Communicator:
     def recv(self, source: int, timeout: float = DEFAULT_TIMEOUT) -> np.ndarray:
         raise NotImplementedError
 
+    def poll(self, source: int, timeout: float = 0.0) -> bool:
+        """Is a message from ``source`` ready? (``MPI_Iprobe`` analogue.)
+
+        ``timeout=0`` never blocks. Optional capability: backends that
+        cannot probe raise :exc:`NotImplementedError`, and callers that
+        merely *optimise* on it (e.g. the comm sanitizer's lazy
+        fingerprint drain) must degrade to plain ``recv``.
+        """
+        raise NotImplementedError
+
     def barrier(self) -> None:
         raise NotImplementedError
 
@@ -329,6 +339,10 @@ class SubCommunicator(Communicator):
         self._check_peer(source)
         return self.parent.recv(self.group[source], timeout=timeout)
 
+    def poll(self, source: int, timeout: float = 0.0) -> bool:
+        self._check_peer(source)
+        return self.parent.poll(self.group[source], timeout=timeout)
+
     def barrier(self) -> None:
         # Dissemination barrier within the group (cannot reuse the parent's
         # global barrier — it would wait for non-members).
@@ -336,5 +350,5 @@ class SubCommunicator(Communicator):
         distance = 1
         while distance < self.size:
             self.send((self._rank + distance) % self.size, token)
-            self.recv((self._rank - distance) % self.size)
+            self.recv((self._rank - distance) % self.size, timeout=DEFAULT_TIMEOUT)
             distance <<= 1

@@ -46,9 +46,10 @@ __all__ = [
     "FaultyCommunicator",
     "FaultInjectionCallback",
     "InjectedRankCrash",
+    "MismatchedCollectiveInjector",
 ]
 
-_KINDS = ("delay", "drop", "duplicate", "corrupt", "crash")
+_KINDS = ("delay", "drop", "duplicate", "corrupt", "crash", "mismatch")
 #: kinds that modify the outgoing payload (send path only)
 _SEND_ONLY = ("drop", "duplicate", "corrupt")
 
@@ -92,11 +93,15 @@ class FaultEvent:
                 f"exactly one of index/step must be set, got "
                 f"index={self.index} step={self.step}"
             )
-        if self.step is not None and self.kind in _SEND_ONLY:
+        if self.step is not None and self.kind in _SEND_ONLY + ("mismatch",):
             raise ValueError(f"{self.kind!r} faults must be op-scoped (set index)")
         if self.kind in _SEND_ONLY and self.op != "send":
             raise ValueError(f"{self.kind!r} faults apply to the send path only")
-        if self.op not in ("send", "recv", "any"):
+        if self.kind == "mismatch" and self.op != "collective":
+            raise ValueError("'mismatch' faults apply to collectives (op='collective')")
+        if self.kind != "mismatch" and self.op == "collective":
+            raise ValueError("op='collective' is reserved for 'mismatch' faults")
+        if self.op not in ("send", "recv", "any", "collective"):
             raise ValueError(f"unknown op {self.op!r}")
         if self.kind == "delay" and self.delay <= 0:
             raise ValueError(f"delay must be > 0, got {self.delay}")
@@ -290,6 +295,11 @@ class FaultyCommunicator(Communicator):
                 time.sleep(event.delay)
         return self.inner.recv(source, timeout=timeout)
 
+    def poll(self, source: int, timeout: float = 0.0) -> bool:
+        # Probing is fault-free: events are scoped to send/recv operations.
+        self._check_dead()
+        return self.inner.poll(source, timeout=timeout)
+
     def barrier(self) -> None:
         # Dissemination over the faulted send/recv so (a) faults apply to
         # barrier traffic too and (b) a dead peer surfaces as a recv timeout
@@ -299,8 +309,117 @@ class FaultyCommunicator(Communicator):
         distance = 1
         while distance < self.size:
             self.send((self.rank + distance) % self.size, token)
-            self.recv((self.rank - distance) % self.size)
+            self.recv((self.rank - distance) % self.size, timeout=DEFAULT_TIMEOUT)
             distance <<= 1
+
+
+class MismatchedCollectiveInjector(Communicator):
+    """Swap the victim's N-th collective for a different one (``mismatch``).
+
+    Models the divergence bug class — one rank calling ``broadcast`` where
+    the others call ``allreduce`` — that ordinarily *deadlocks* the world.
+    Events are op-scoped with ``op="collective"``: the victim's
+    ``index``-th collective call (0-based, counted across all collective
+    kinds) executes the swapped collective from :attr:`_SWAPS` instead.
+
+    Unlike :class:`FaultyCommunicator` (which decomposes collectives onto
+    its own faulted point-to-point hops), this wrapper delegates whole
+    collectives to ``inner``, so a
+    :class:`~repro.analysis.comm_sanitizer.CommSanitizer` stacked *below*
+    it sees the swapped call and converts the would-be deadlock into an
+    immediate ``CollectiveMismatchError``. Stack as::
+
+        MismatchedCollectiveInjector(CommSanitizer(backend_comm), plan)
+    """
+
+    #: deliberately wrong-but-runnable substitute per collective kind
+    _SWAPS = {
+        "allreduce": "broadcast",
+        "broadcast": "allreduce",
+        "allgather": "allreduce",
+        "reduce": "broadcast",
+        "barrier": "allreduce",
+    }
+
+    def __init__(self, inner: Communicator, plan: FaultPlan):
+        self.inner = inner
+        self.plan = plan
+        self.algorithm = inner.algorithm
+        self._events = [
+            (pos, e)
+            for pos, e in plan.events_for(inner.rank, step_scoped=False)
+            if e.kind == "mismatch"
+        ]
+        self._fired: set[int] = set()
+        self._collective_count = 0
+        self.injected: dict[str, int] = {}
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    @property
+    def rank(self) -> int:
+        return self.inner.rank
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    def send(self, dest: int, array: np.ndarray) -> None:
+        self.inner.send(dest, array)
+
+    def recv(self, source: int, timeout: float = DEFAULT_TIMEOUT) -> np.ndarray:
+        return self.inner.recv(source, timeout=timeout)
+
+    def poll(self, source: int, timeout: float = 0.0) -> bool:
+        return self.inner.poll(source, timeout=timeout)
+
+    def _swap(self, kind: str) -> str | None:
+        """The substitute kind when this collective call is the victim."""
+        count = self._collective_count
+        self._collective_count += 1
+        for pos, event in self._events:
+            if pos not in self._fired and event.index == count:
+                self._fired.add(pos)
+                self.injected["mismatch"] = self.injected.get("mismatch", 0) + 1
+                return self._SWAPS[kind]
+        return None
+
+    def _run(self, kind: str, array: np.ndarray | None, **kwargs):
+        swapped = self._swap(kind)
+        target = swapped or kind
+        if target == "barrier":
+            return self.inner.barrier()
+        payload = np.zeros(1) if array is None else array
+        if target == "allreduce":
+            return self.inner.allreduce(payload, op=kwargs.get("op", "sum"))
+        if target == "broadcast":
+            return self.inner.broadcast(payload, root=kwargs.get("root", 0))
+        if target == "allgather":
+            return self.inner.allgather(payload)
+        if target == "reduce":
+            return self.inner.reduce(
+                payload, root=kwargs.get("root", 0), op=kwargs.get("op", "sum")
+            )
+        raise AssertionError(f"unknown collective {target!r}")
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        return self._run("allreduce", array, op=op)
+
+    def broadcast(self, array: np.ndarray, root: int = 0) -> np.ndarray:
+        return self._run("broadcast", array, root=root)
+
+    def allgather(self, array: np.ndarray) -> list[np.ndarray]:
+        return self._run("allgather", array)
+
+    def reduce(
+        self, array: np.ndarray, root: int = 0, op: str = "sum"
+    ) -> np.ndarray | None:
+        return self._run("reduce", array, root=root, op=op)
+
+    def barrier(self) -> None:
+        self._run("barrier", None)
 
 
 class FaultInjectionCallback:

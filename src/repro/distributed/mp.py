@@ -112,6 +112,15 @@ class PipeCommunicator(Communicator):
         self._count_recv(out)
         return out
 
+    def poll(self, source: int, timeout: float = 0.0) -> bool:
+        self._check_peer(source)
+        try:
+            return bool(self._conns[source].poll(timeout))
+        except (EOFError, BrokenPipeError, OSError):
+            # Closed pipe: report ready so the caller's recv surfaces the
+            # dead-peer diagnosis instead of poll masking it as "no data".
+            return True
+
     def barrier(self) -> None:
         # Dissemination barrier: log2(L) rounds of token exchange.
         token = np.zeros(1)
@@ -120,7 +129,7 @@ class PipeCommunicator(Communicator):
             dest = (self._rank + distance) % self._size
             src = (self._rank - distance) % self._size
             self.send(dest, token)
-            self.recv(src)
+            self.recv(src, timeout=DEFAULT_TIMEOUT)
             distance <<= 1
 
     def close(self) -> None:

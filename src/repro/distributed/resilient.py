@@ -246,6 +246,11 @@ class ResilientCommunicator(Communicator):
             return stash.popleft()
         return self.inner.recv(source, timeout=timeout)
 
+    def poll(self, source: int, timeout: float = 0.0) -> bool:
+        if self._pushback.get(source):
+            return True
+        return self.inner.poll(source, timeout=timeout)
+
     # -- data path ------------------------------------------------------------
 
     def recv(self, source: int, timeout: float = DEFAULT_TIMEOUT) -> np.ndarray:
@@ -414,5 +419,5 @@ class ResilientCommunicator(Communicator):
         distance = 1
         while distance < self.size:
             self.send((self.rank + distance) % self.size, token)
-            self.recv((self.rank - distance) % self.size)
+            self.recv((self.rank - distance) % self.size, timeout=DEFAULT_TIMEOUT)
             distance <<= 1

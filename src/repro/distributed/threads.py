@@ -24,6 +24,7 @@ from repro.distributed.comm import (
     CommTimeoutError,
     DEFAULT_TIMEOUT,
     OwnedFrame,
+    RankFailure,
     WorkerFailure,
 )
 
@@ -77,6 +78,20 @@ class ThreadCommunicator(Communicator):
         self._count_recv(out)
         return out
 
+    def poll(self, source: int, timeout: float = 0.0) -> bool:
+        self._check_peer(source)
+        inbox = self._mailboxes[self._rank][source]
+        if not inbox.empty():
+            return True
+        if timeout <= 0.0:
+            return False
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if not inbox.empty():
+                return True
+            time.sleep(0.0005)
+        return not inbox.empty()
+
     def barrier(self) -> None:
         self._barrier.wait()
 
@@ -104,7 +119,11 @@ def run_threaded(
 
     Error propagation: when every rank either finished or failed, the
     lowest failing rank's exception is re-raised unchanged (original type
-    and traceback), annotated with any co-failing ranks. A failure plus
+    and traceback), annotated with any co-failing ranks — except that a
+    rank holding a *diagnosis* outranks a rank holding a wedge symptom
+    (:class:`CommTimeoutError` / :class:`RankFailure`): when one rank
+    times out on a peer and another names the actual divergence, the
+    named error is the one worth surfacing. A failure plus
     ranks that never finished — wedged waiting on the failed peer — raises
     :class:`WorkerFailure`, which attributes every traceback to its rank
     instead of hiding the root cause behind a generic timeout. A timeout
@@ -137,9 +156,14 @@ def run_threaded(
     failed = [r for r in range(world_size) if errors[r] is not None]
     if failed:
         if not wedged:
-            exc = errors[failed[0]]
+            symptom = (CommTimeoutError, RankFailure)
+            primary = next(
+                (r for r in failed if not isinstance(errors[r], symptom)),
+                failed[0],
+            )
+            exc = errors[primary]
             if len(failed) > 1 and hasattr(exc, "add_note"):
-                exc.add_note(f"[run_threaded] raised on rank {failed[0]}; "
+                exc.add_note(f"[run_threaded] raised on rank {primary}; "
                              f"ranks {failed} all failed")
             raise exc
         raise WorkerFailure(

@@ -61,7 +61,7 @@ class MaxCut(ZZXHamiltonian):
             raise ValueError(f"adjacency must be square, got {adjacency.shape}")
         if not np.allclose(adjacency, adjacency.T):
             raise ValueError("adjacency must be symmetric")
-        if np.any(np.diag(adjacency) != 0.0):
+        if np.count_nonzero(np.diag(adjacency)):
             raise ValueError("adjacency must have zero diagonal (no self-loops)")
         total = float(np.triu(adjacency, 1).sum())
         # cut(x) = ½ total − ¼ zᵀWz and H_xx = −½ zᵀ(couplings)z + offset,

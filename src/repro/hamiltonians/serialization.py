@@ -117,7 +117,7 @@ def from_dict(payload: dict) -> Hamiltonian:
         )
         if kind == "zzx":
             kwargs["offset"] = payload["offset"]
-        elif payload.get("offset", 0.0) != 0.0:
+        elif payload.get("offset", 0.0) != 0.0:  # repro-lint: disable=ag-float-eq -- stored sentinel round-trips JSON exactly; any nonzero offset is an error
             raise ValueError("TIM instances must have zero offset")
         return cls(**kwargs)
     raise ValueError(f"unknown instance kind {kind!r}")

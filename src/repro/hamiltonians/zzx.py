@@ -58,7 +58,7 @@ class ZZXHamiltonian(Hamiltonian):
             raise ValueError(f"couplings shape {couplings.shape} != ({n}, {n})")
         if not np.allclose(couplings, couplings.T):
             raise ValueError("couplings matrix must be symmetric")
-        if np.any(np.diag(couplings) != 0.0):
+        if np.count_nonzero(np.diag(couplings)):
             raise ValueError("couplings matrix must have zero diagonal")
         if np.any(alpha < 0.0):
             raise ValueError(

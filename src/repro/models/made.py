@@ -33,6 +33,7 @@ from repro.nn.linear import MaskedLinear
 from repro.nn.masks import check_autoregressive_deep, made_masks_deep
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.rng import init_rng
 
 __all__ = ["MADE", "default_hidden_size"]
 
@@ -71,7 +72,7 @@ class MADE(WaveFunction):
         mask_strategy: str = "cycle",
     ):
         super().__init__(n)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = init_rng(rng)  # seeded fallback: replays bit-identically
         if hidden is None:
             hidden = default_hidden_size(n)
         if isinstance(hidden, (int, np.integer)):

@@ -20,6 +20,7 @@ from repro.models.base import WaveFunction, validate_configurations
 from repro.nn.module import Parameter
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.rng import init_rng
 
 __all__ = ["MeanField"]
 
@@ -32,7 +33,7 @@ class MeanField(WaveFunction):
 
     def __init__(self, n: int, rng: np.random.Generator | None = None):
         super().__init__(n)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = init_rng(rng)  # seeded fallback: replays bit-identically
         # Near-uniform start (exactly uniform is a stationary point of some
         # symmetric objectives, so add a touch of noise).
         self.logits = Parameter(rng.normal(0.0, 0.01, size=n), name="logits")

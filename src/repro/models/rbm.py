@@ -25,6 +25,7 @@ from repro.models.base import WaveFunction, validate_configurations
 from repro.nn.linear import Linear
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import init_rng
 
 __all__ = ["RBM"]
 
@@ -55,12 +56,15 @@ class RBM(WaveFunction):
         init_std: float = 0.01,
     ):
         super().__init__(n)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = init_rng(rng)  # seeded fallback: replays bit-identically
         self.hidden = hidden if hidden is not None else n
         self.fc = Linear(n, self.hidden, rng=rng, weight_std=init_std)
-        self.fc.bias.data[...] = rng.normal(0.0, init_std, size=self.hidden)
+        # Construction-time init: no graph references these buffers yet.
+        self.fc.bias.data[...] = rng.normal(0.0, init_std, size=self.hidden)  # repro-lint: disable=ag-tensor-mutation -- construction-time init, no live graph
+        self.fc.bias.bump_version()
         self.visible = Linear(n, 1, rng=rng, weight_std=init_std)
-        self.visible.bias.data[...] = 0.0
+        self.visible.bias.data[...] = 0.0  # repro-lint: disable=ag-tensor-mutation -- construction-time init, no live graph
+        self.visible.bias.bump_version()
 
     def forward(self, x: np.ndarray) -> Tensor:
         return self.log_psi(x)

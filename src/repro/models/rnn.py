@@ -25,6 +25,7 @@ from repro.models.base import WaveFunction, validate_configurations
 from repro.nn.module import Parameter
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.rng import init_rng
 
 __all__ = ["RNNWaveFunction"]
 
@@ -50,7 +51,7 @@ class RNNWaveFunction(WaveFunction):
         self, n: int, hidden: int = 32, rng: np.random.Generator | None = None
     ):
         super().__init__(n)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = init_rng(rng)  # seeded fallback: replays bit-identically
         if hidden < 1:
             raise ValueError(f"hidden must be >= 1, got {hidden}")
         self.hidden = hidden

@@ -8,6 +8,7 @@ from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import init_rng
 
 __all__ = ["Linear", "MaskedLinear"]
 
@@ -34,7 +35,7 @@ class Linear(Module):
         weight_std: float | None = None,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = init_rng(rng)  # seeded fallback: replays bit-identically
         self.in_features = in_features
         self.out_features = out_features
         if weight_std is not None:

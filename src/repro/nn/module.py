@@ -82,7 +82,8 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"{p.data.shape} vs {state[name].shape}"
                 )
-            p.data[...] = state[name]
+            p.data[...] = state[name]  # repro-lint: disable=ag-tensor-mutation -- checkpoint load runs between steps, no live graph
+            p.bump_version()
 
     # -- flat-vector view (used by SR and the distributed allreduce) -----------------
 
@@ -95,7 +96,8 @@ class Module:
         offset = 0
         for p in self.parameters():
             n = p.size
-            p.data[...] = vec[offset : offset + n].reshape(p.shape)
+            p.data[...] = vec[offset : offset + n].reshape(p.shape)  # repro-lint: disable=ag-tensor-mutation -- optimizer write-back runs after backward, no live graph
+            p.bump_version()
             offset += n
         if offset != vec.size:
             raise ValueError(f"flat vector has {vec.size} entries, model needs {offset}")

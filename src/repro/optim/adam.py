@@ -43,6 +43,7 @@ class Adam(Optimizer):
             v *= b2
             v += (1.0 - b2) * p.grad**2
             p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            p.bump_version()
 
     def state_dict(self) -> dict:
         return {

@@ -41,6 +41,7 @@ class RMSprop(Optimizer):
             v *= self.alpha
             v += (1.0 - self.alpha) * p.grad**2
             p.data -= self.lr * p.grad / (np.sqrt(v) + self.eps)
+            p.bump_version()
 
     def state_dict(self) -> dict:
         return {
@@ -74,6 +75,7 @@ class AdaGrad(Optimizer):
                 continue
             g2 += p.grad**2
             p.data -= self.lr * p.grad / (np.sqrt(g2) + self.eps)
+            p.bump_version()
 
     def state_dict(self) -> dict:
         return {"lr": self.lr, "eps": self.eps, "g2": [g.copy() for g in self._g2]}

@@ -29,6 +29,7 @@ class SGD(Optimizer):
             for p in self.params:
                 if p.grad is not None:
                     p.data -= self.lr * p.grad
+                    p.bump_version()
             return
         if self._velocity is None:
             self._velocity = [np.zeros_like(p.data) for p in self.params]
@@ -38,6 +39,7 @@ class SGD(Optimizer):
             v *= self.momentum
             v += p.grad
             p.data -= self.lr * v
+            p.bump_version()
 
     def state_dict(self) -> dict:
         return {

@@ -20,12 +20,57 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "InPlaceMutationError",
+    "NonFiniteError",
+    "graph_sanitizer_state",
+    "set_graph_sanitizer",
+]
 
 # Thread-local: the thread-backed distributed runtime runs one rank per
 # thread, and one rank sampling under no_grad must not disable recording
 # for a rank that is mid-backward.
 _STATE = threading.local()
+
+
+class InPlaceMutationError(RuntimeError):
+    """A tensor recorded in a backward graph was mutated before backward.
+
+    Raised by the graph sanitizer
+    (:class:`repro.analysis.graph_sanitizer.GraphSanitizer`): the backward
+    closures alias the buffers they saw at record time, so an in-place
+    update between forward and backward corrupts gradients silently.
+    """
+
+
+class NonFiniteError(RuntimeError):
+    """An op produced NaN/Inf from all-finite inputs (first origin).
+
+    Raised (or recorded, per policy) by the graph sanitizer at the op that
+    *introduced* the non-finite values, instead of wherever they later
+    surface as a diverged loss.
+    """
+
+
+# The active graph-sanitizer state, per thread (one rank per thread in the
+# threaded distributed backend — each rank opts in independently). The
+# engine only duck-calls ``state.on_node(out, parents, recorded)`` and
+# ``state.verify(node)``; the state object itself lives in
+# :mod:`repro.analysis.graph_sanitizer`, keeping the engine import-free.
+_SANITIZER = threading.local()
+
+
+def graph_sanitizer_state():
+    """The thread's active sanitizer state, or None."""
+    return getattr(_SANITIZER, "state", None)
+
+
+def set_graph_sanitizer(state) -> None:
+    """Install (or clear, with None) the thread's sanitizer state."""
+    _SANITIZER.state = state
 
 
 @contextlib.contextmanager
@@ -77,7 +122,16 @@ class Tensor:
         Optional label used in error messages and graph dumps.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "name",
+        "_version",
+        "_sanitize",
+    )
 
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
         self.data = _as_array(data)
@@ -86,6 +140,28 @@ class Tensor:
         self._backward: Callable[[], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
+        # Buffer version counter: tracked in-place mutators (optimizer
+        # steps, parameter loading) bump it via bump_version(); the graph
+        # sanitizer snapshots it per recorded op and additionally
+        # fingerprints the buffer to catch *untracked* mutation.
+        self._version = 0
+        self._sanitize = None
+
+    @property
+    def version(self) -> int:
+        """Buffer version: incremented by every tracked in-place mutation."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Declare a tracked in-place mutation of ``data``.
+
+        Every whitelisted mutator (optimizers, ``Module`` parameter
+        loading) calls this after updating ``data`` in place, so the graph
+        sanitizer can tell a *tracked-but-illegal* mutation (version
+        changed while the tensor sat in a live graph) from an untracked one
+        (buffer contents changed behind the counter's back).
+        """
+        self._version += 1
 
     # -- construction helpers ------------------------------------------------
 
@@ -106,6 +182,9 @@ class Tensor:
                 backward(out.grad)
 
             out._backward = _bw
+        state = graph_sanitizer_state()
+        if state is not None:
+            state.on_node(out, parents, recorded=needs)
         return out
 
     def _accum(self, grad: np.ndarray) -> None:
@@ -187,8 +266,11 @@ class Tensor:
             raise ValueError(
                 f"seed gradient shape {self.grad.shape} != tensor shape {self.data.shape}"
             )
+        state = graph_sanitizer_state()
         for node in reversed(topo):
             if node._backward is not None:
+                if state is not None:
+                    state.verify(node)
                 node._backward()
 
     # -- arithmetic -------------------------------------------------------------

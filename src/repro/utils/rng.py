@@ -13,7 +13,10 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn_generators", "RngPool"]
+__all__ = ["as_generator", "init_rng", "spawn_generators", "RngPool"]
+
+#: seed of the fallback initialisation stream (see :func:`init_rng`)
+DEFAULT_INIT_SEED = 0
 
 
 def as_generator(seed: int | None | np.random.Generator) -> np.random.Generator:
@@ -24,6 +27,22 @@ def as_generator(seed: int | None | np.random.Generator) -> np.random.Generator:
     """
     if isinstance(seed, np.random.Generator):
         return seed
+    return np.random.default_rng(seed)
+
+
+def init_rng(
+    rng: np.random.Generator | None, seed: int = DEFAULT_INIT_SEED
+) -> np.random.Generator:
+    """The Generator fallback for model/layer construction.
+
+    Callers that don't pass an ``rng`` get a *seeded* stream rather than OS
+    entropy: a default-constructed model is bit-identical on every machine,
+    which is the repo-wide replay contract (and what the
+    ``det-unseeded-rng`` lint rule enforces). Pass an explicit ``rng`` for
+    independent initialisations.
+    """
+    if rng is not None:
+        return rng
     return np.random.default_rng(seed)
 
 

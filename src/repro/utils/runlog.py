@@ -39,7 +39,7 @@ class RunLogger:
 
     def on_run_begin(self, vqmc) -> None:
         self._fh = self.path.open("a", encoding="utf-8")
-        self._start = time.time()
+        self._start = time.time()  # repro-lint: disable=det-wall-clock -- log-sink timestamp, never feeds numerics
         header = {
             "event": "run_begin",
             "time": self._start,
@@ -75,8 +75,8 @@ class RunLogger:
         self._write(
             {
                 "event": "run_end",
-                "time": time.time(),
-                "elapsed": time.time() - self._start,
+                "time": time.time(),  # repro-lint: disable=det-wall-clock -- log-sink timestamp, never feeds numerics
+                "elapsed": time.time() - self._start,  # repro-lint: disable=det-wall-clock -- log-sink timestamp, never feeds numerics
                 "global_step": vqmc.global_step,
             }
         )

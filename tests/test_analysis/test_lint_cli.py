@@ -1,0 +1,110 @@
+"""tools/lint.py CLI: exit codes, output format, JSON mode."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.analysis
+
+REPO = Path(__file__).resolve().parents[2]
+CLI = REPO / "tools" / "lint.py"
+
+BAD_SOURCE = (
+    "import random\n"
+    "import time\n"
+    "stamp = time.time()\n"
+)
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(CLI), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    (tmp_path / "bad.py").write_text(BAD_SOURCE)
+    return tmp_path
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    (tmp_path / "good.py").write_text(
+        "import numpy as np\nrng = np.random.default_rng(3)\n"
+    )
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_tree):
+        proc = run_cli(str(clean_tree))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_findings_exit_one(self, bad_tree):
+        proc = run_cli(str(bad_tree))
+        assert proc.returncode == 1
+
+    def test_usage_error_exits_two(self, tmp_path):
+        proc = run_cli(str(tmp_path / "does-not-exist"))
+        assert proc.returncode == 2
+
+    def test_unknown_rule_select_exits_two(self, clean_tree):
+        proc = run_cli("--select", "no-such-rule", str(clean_tree))
+        assert proc.returncode == 2
+
+
+class TestHumanOutput:
+    def test_findings_use_path_line_rule_format(self, bad_tree):
+        proc = run_cli(str(bad_tree))
+        lines = [l for l in proc.stdout.splitlines() if "bad.py" in l]
+        assert len(lines) == 2
+        bad_path = str(bad_tree / "bad.py")
+        assert any(
+            l.startswith(f"{bad_path}:1:") and "det-stdlib-random" in l
+            for l in lines
+        )
+        assert any(
+            l.startswith(f"{bad_path}:3:") and "det-wall-clock" in l
+            for l in lines
+        )
+
+    def test_suppressed_count_reported(self, tmp_path):
+        (tmp_path / "m.py").write_text(
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=det-wall-clock -- stamp\n"
+        )
+        proc = run_cli(str(tmp_path))
+        assert proc.returncode == 0
+        assert "1 suppressed" in proc.stdout
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ("det-global-rng", "ag-tensor-mutation", "dist-recv-timeout"):
+            assert rule_id in proc.stdout
+
+
+class TestJsonOutput:
+    def test_json_payload_machine_readable(self, bad_tree):
+        proc = run_cli("--json", str(bad_tree))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["files_scanned"] == 1
+        assert payload["finding_count"] == 2
+        rules = {f["rule"] for f in payload["findings"]}
+        assert rules == {"det-stdlib-random", "det-wall-clock"}
+
+    def test_select_narrows_findings(self, bad_tree):
+        proc = run_cli("--json", "--select", "det-wall-clock", str(bad_tree))
+        payload = json.loads(proc.stdout)
+        assert {f["rule"] for f in payload["findings"]} == {"det-wall-clock"}

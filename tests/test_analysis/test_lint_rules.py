@@ -1,0 +1,228 @@
+"""Per-rule coverage: bad fixtures are flagged, good fixtures pass clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lint import lint_file
+
+pytestmark = pytest.mark.analysis
+
+
+def run_rule(tmp_path, rule_id: str, source: str, rel: str = "repro/models/mod.py"):
+    """Lint ``source`` as if it lived at ``rel``, with only ``rule_id`` active."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    from repro.analysis.lint import get_rule
+
+    return lint_file(path, rules=[get_rule(rule_id)])
+
+
+def assert_flags(tmp_path, rule_id, source, count=1, **kwargs):
+    report = run_rule(tmp_path, rule_id, source, **kwargs)
+    assert [f.rule_id for f in report.findings] == [rule_id] * count, (
+        f"expected {count} {rule_id} finding(s), got "
+        f"{[f.format() for f in report.findings]}"
+    )
+    return report.findings
+
+
+def assert_clean(tmp_path, rule_id, source, **kwargs):
+    report = run_rule(tmp_path, rule_id, source, **kwargs)
+    assert report.ok, f"unexpected findings: {[f.format() for f in report.findings]}"
+
+
+class TestGlobalNumpyRandom:
+    def test_flags_legacy_global_api(self, tmp_path):
+        findings = assert_flags(
+            tmp_path,
+            "det-global-rng",
+            "import numpy as np\nx = np.random.rand(3)\n",
+        )
+        assert findings[0].line == 2
+
+    def test_flags_seed_and_full_module_name(self, tmp_path):
+        assert_flags(
+            tmp_path,
+            "det-global-rng",
+            "import numpy\nnumpy.random.seed(0)\n",
+        )
+
+    def test_flags_importfrom_of_global_api(self, tmp_path):
+        assert_flags(
+            tmp_path,
+            "det-global-rng",
+            "from numpy.random import shuffle\n",
+        )
+
+    def test_allows_generator_construction_surface(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "det-global-rng",
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+            "gen = np.random.Generator(np.random.PCG64(7))\n"
+            "from numpy.random import default_rng, SeedSequence\n",
+        )
+
+
+class TestStdlibRandom:
+    def test_flags_import_random(self, tmp_path):
+        assert_flags(tmp_path, "det-stdlib-random", "import random\n")
+
+    def test_flags_from_random_import(self, tmp_path):
+        assert_flags(tmp_path, "det-stdlib-random", "from random import shuffle\n")
+
+    def test_allows_other_modules(self, tmp_path):
+        assert_clean(tmp_path, "det-stdlib-random", "import secrets\nimport math\n")
+
+
+class TestUnseededDefaultRng:
+    def test_flags_unseeded_construction(self, tmp_path):
+        assert_flags(
+            tmp_path,
+            "det-unseeded-rng",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+
+    def test_allows_seeded_construction(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "det-unseeded-rng",
+            "import numpy as np\n"
+            "a = np.random.default_rng(0)\n"
+            "b = np.random.default_rng(seed=42)\n",
+        )
+
+    def test_ignores_unrelated_default_rng_methods(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "det-unseeded-rng",
+            "pool = factory.default_rng()\n",
+        )
+
+
+class TestWallClock:
+    def test_flags_time_time(self, tmp_path):
+        findings = assert_flags(
+            tmp_path,
+            "det-wall-clock",
+            "import time\nstamp = time.time()\n",
+        )
+        assert "wall clock" in findings[0].message
+
+    def test_flags_datetime_now(self, tmp_path):
+        assert_flags(
+            tmp_path,
+            "det-wall-clock",
+            "from datetime import datetime\nd = datetime.now()\n",
+        )
+
+    def test_allows_duration_clocks(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "det-wall-clock",
+            "import time\nt0 = time.perf_counter()\nt1 = time.monotonic()\n",
+        )
+
+
+class TestTensorBufferMutation:
+    def test_flags_augassign_on_data(self, tmp_path):
+        assert_flags(tmp_path, "ag-tensor-mutation", "w.data += g\n")
+
+    def test_flags_subscript_assignment_on_grad(self, tmp_path):
+        assert_flags(tmp_path, "ag-tensor-mutation", "w.grad[0] = 0.0\n")
+
+    def test_flags_mutating_method_call(self, tmp_path):
+        assert_flags(tmp_path, "ag-tensor-mutation", "w.data.fill(0.0)\n")
+
+    def test_whitelisted_modules_exempt(self, tmp_path):
+        for rel in ("repro/optim/mod.py", "repro/tensor/mod.py", "repro/perf/mod.py"):
+            assert_clean(tmp_path, "ag-tensor-mutation", "w.data += g\n", rel=rel)
+
+    def test_allows_rebinding_and_reads(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "ag-tensor-mutation",
+            "y = w.data + 1.0\nz = w.grad[0]\nw = w.detach()\n",
+        )
+
+
+class TestFloatEquality:
+    def test_flags_computed_vs_float_literal(self, tmp_path):
+        assert_flags(tmp_path, "ag-float-eq", "ok = np.dot(a, b) == 0.0\n")
+        assert_flags(tmp_path, "ag-float-eq", "bad = 1.0 != (a * b)\n")
+
+    def test_flags_negative_literal(self, tmp_path):
+        assert_flags(tmp_path, "ag-float-eq", "ok = f(x) == -1.0\n")
+
+    def test_allows_integer_and_sentinel_comparisons(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "ag-float-eq",
+            "n_zero = count(a) == 0\n"   # int literal: exact by contract
+            "same = stored == 0.0\n"      # plain name: stored sentinel
+            "close = np.isclose(f(x), 0.0)\n",
+        )
+
+    def test_allows_ordering_comparisons(self, tmp_path):
+        assert_clean(tmp_path, "ag-float-eq", "big = f(x) > 0.0\n")
+
+
+class TestRankDependentCollective:
+    def test_flags_collective_under_rank_branch(self, tmp_path):
+        findings = assert_flags(
+            tmp_path,
+            "dist-rank-collective",
+            "def step(comm, x):\n"
+            "    if comm.rank == 0:\n"
+            "        return comm.allreduce(x)\n"
+            "    return x\n",
+        )
+        assert ".allreduce()" in findings[0].message
+
+    def test_flags_nested_while_on_rank(self, tmp_path):
+        assert_flags(
+            tmp_path,
+            "dist-rank-collective",
+            "def f(comm, rank):\n"
+            "    while rank > 0:\n"
+            "        comm.barrier()\n",
+        )
+
+    def test_allows_collective_outside_branch(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "dist-rank-collective",
+            "def step(comm, x):\n"
+            "    g = comm.allreduce(x, op='mean')\n"
+            "    if comm.rank == 0:\n"
+            "        print(g)\n"
+            "    return g\n",
+        )
+
+    def test_allows_p2p_under_rank_branch(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "dist-rank-collective",
+            "def f(comm, x):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.send(1, x)\n",
+        )
+
+
+class TestRecvWithoutTimeout:
+    def test_flags_recv_with_source_only(self, tmp_path):
+        findings = assert_flags(tmp_path, "dist-recv-timeout", "x = comm.recv(0)\n")
+        assert "timeout" in findings[0].message
+
+    def test_allows_explicit_timeout(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "dist-recv-timeout",
+            "x = comm.recv(0, timeout=5.0)\ny = comm.recv(1, 5.0)\n",
+        )
+
+    def test_allows_zero_arg_connection_recv(self, tmp_path):
+        assert_clean(tmp_path, "dist-recv-timeout", "msg = conn.recv()\n")

@@ -1,0 +1,45 @@
+"""Tier-1 gate: the shipped source tree must lint clean.
+
+This is the in-process twin of ``python tools/lint.py src`` — plain pytest
+enforces the same invariant CI does, and a failure prints the exact
+``path:line:col rule-id message`` lines to fix (or suppress with a
+justification, see docs/static_analysis.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+
+pytestmark = pytest.mark.analysis
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_src_tree_lints_clean():
+    report = lint_paths([SRC])
+    assert report.files_scanned > 50, "lint walked an unexpectedly small tree"
+    assert report.ok, "lint findings in src/:\n" + "\n".join(
+        f.format() for f in report.findings
+    )
+
+
+def test_suppressions_in_src_are_audited():
+    # Suppressed findings stay visible in the report: a rule being silenced
+    # cannot disappear without trace. Guard against suppression creep by
+    # requiring every suppression to carry a justification.
+    report = lint_paths([SRC])
+    for finding in report.suppressed:
+        source = Path(finding.path).read_text().splitlines()
+        file_text = "\n".join(source)
+        assert "repro-lint:" in file_text
+    # Every suppression comment in src/ must have a `--` justification.
+    for path in SRC.rglob("*.py"):
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if "# repro-lint:" in line:
+                assert "--" in line.split("# repro-lint:", 1)[1], (
+                    f"{path}:{lineno} suppression without justification"
+                )

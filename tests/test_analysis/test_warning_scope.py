@@ -1,0 +1,36 @@
+"""DeprecationWarning scoping: ours fail tests, third-party stay ignored.
+
+``pyproject.toml`` orders ``filterwarnings`` so the blanket third-party
+ignore is overridden by ``error::DeprecationWarning:repro.*`` (later pytest
+filters take precedence) — our own deprecations must surface instead of
+accumulating silently.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+pytestmark = pytest.mark.analysis
+
+
+def test_own_deprecation_is_an_error():
+    with pytest.raises(DeprecationWarning):
+        warnings.warn_explicit(
+            "repro-internal deprecation",
+            DeprecationWarning,
+            "src/repro/utils/example.py",
+            1,
+            module="repro.utils.example",
+        )
+
+
+def test_third_party_deprecation_stays_ignored():
+    warnings.warn_explicit(
+        "third-party deprecation",
+        DeprecationWarning,
+        "site-packages/thirdparty/mod.py",
+        1,
+        module="thirdparty.mod",
+    )

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Repo-specific linter CLI — the static prong of ``repro.analysis``.
+
+Usage::
+
+    python tools/lint.py src                 # human output, exit 1 on findings
+    python tools/lint.py src tests --json    # machine-readable report
+    python tools/lint.py --list-rules        # rule catalogue
+    python tools/lint.py src --select det-unseeded-rng,dist-recv-timeout
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error. CI runs this over
+``src/`` (also enforced in-process by ``tests/test_analysis/``, so plain
+pytest gates the same invariant).
+
+Suppressions (see docs/static_analysis.md):
+``# repro-lint: disable=<rule-id> -- justification`` on the offending line,
+``# repro-lint: file-disable=<rule-id> -- justification`` for a whole file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def _bootstrap() -> None:
+    """Make ``repro`` importable when run from a source checkout."""
+    try:
+        import repro.analysis  # noqa: F401
+    except ImportError:
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        sys.path.insert(0, str(src))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools/lint.py",
+        description="repo-specific determinism/autograd/distributed linter",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report on stdout"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    _bootstrap()
+    from repro.analysis import iter_rules, lint_paths
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.id}  [{rule.category}]")
+            print(f"    {rule.description}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (and --list-rules not requested)", file=sys.stderr)
+        return 2
+
+    missing = [p for p in args.paths if not pathlib.Path(p).exists()]
+    if missing:
+        print(f"error: path(s) do not exist: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = [s.strip() for s in args.select.split(",") if s.strip()]
+    try:
+        report = lint_paths(args.paths, select=select)
+    except KeyError as exc:
+        print(f"error: unknown rule id {exc.args[0]!r}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(report.to_json())
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        suppressed = f", {len(report.suppressed)} suppressed" if report.suppressed else ""
+        status = "clean" if report.ok else f"{len(report.findings)} finding(s)"
+        print(
+            f"[lint] {status} across {report.files_scanned} file(s){suppressed}"
+        )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
