@@ -10,6 +10,13 @@ Split by invariant family:
 - :mod:`repro.analysis.rules.distributed` — collective congruence and
   deadlock guards (the failure modes the fault layer can observe but not
   diagnose).
+- :mod:`repro.analysis.rules.observability` — span hygiene for
+  :mod:`repro.obs` (a leaked ``begin`` silently corrupts trace totals).
 """
 
-from repro.analysis.rules import autograd, determinism, distributed  # noqa: F401
+from repro.analysis.rules import (  # noqa: F401
+    autograd,
+    determinism,
+    distributed,
+    observability,
+)

@@ -1,0 +1,138 @@
+"""Observability-hygiene rules.
+
+Spans are accounting: a :meth:`repro.obs.Tracer.begin` that is never
+:meth:`~repro.obs.Tracer.end`-ed does not crash anything — it silently
+leaves the nesting stack deep, mis-parents every later span, and drops
+that interval from the totals ``tools/trace.py`` reports. The ``with
+tracer.span(...)`` form closes on every exit path by construction; manual
+``begin`` is only legitimate when the matching ``end`` sits in a
+``finally`` block.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.lint import Finding, LintContext, Rule, register
+
+#: the tracer implementation itself (and its tests' fixtures) may pair
+#: begin/end through internal machinery the heuristic cannot follow
+_OBS_WHITELIST = ("repro.obs",)
+
+
+def _tracerish(node: ast.AST) -> bool:
+    """Does ``node`` lexically look like a tracer object? (``tracer``,
+    ``self.tracer``, ``self._tracer``, ``vqmc.tracer``, ...)"""
+    if isinstance(node, ast.Name):
+        return "tracer" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "tracer" in node.attr.lower()
+    return False
+
+
+def _is_tracer_call(node: ast.AST, method: str) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == method
+        and _tracerish(node.func.value)
+    )
+
+
+_TRY_TYPES = (ast.Try, ast.TryStar) if hasattr(ast, "TryStar") else (ast.Try,)
+
+
+def _ends_in_finally(node: ast.AST) -> bool:
+    return isinstance(node, _TRY_TYPES) and any(
+        _is_tracer_call(sub, "end")
+        for stmt in node.finalbody
+        for sub in ast.walk(stmt)
+    )
+
+
+class _BeginVisitor(ast.NodeVisitor):
+    """Collect ``tracer.begin`` calls not protected by a finally'd end.
+
+    A begin is *protected* in either closing-on-every-path shape:
+
+    - lexically inside a ``try`` whose ``finally`` contains a
+      ``tracer.end`` call, or
+    - in the statement *immediately before* such a ``try`` (the canonical
+      manual pairing — begin sits outside so a failed begin is not
+      double-closed).
+    """
+
+    def __init__(self) -> None:
+        self.protected_depth = 0
+        self.leaks: list[ast.Call] = []
+        self._shielded: set[int] = set()  # ids of begin calls paired by adjacency
+
+    def _visit_stmts(self, stmts: list) -> None:
+        for i, stmt in enumerate(stmts):
+            nxt = stmts[i + 1] if i + 1 < len(stmts) else None
+            if _ends_in_finally(nxt):
+                for sub in ast.walk(stmt):
+                    if _is_tracer_call(sub, "begin"):
+                        self._shielded.add(id(sub))
+            self.visit(stmt)
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for _field, value in ast.iter_fields(node):
+            if isinstance(value, list):
+                if value and isinstance(value[0], ast.stmt):
+                    self._visit_stmts(value)
+                else:
+                    for item in value:
+                        if isinstance(item, ast.AST):
+                            self.visit(item)
+            elif isinstance(value, ast.AST):
+                self.visit(value)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        protects = _ends_in_finally(node)
+        if protects:
+            self.protected_depth += 1
+        self._visit_stmts(node.body)
+        self._visit_stmts(node.orelse)
+        for handler in node.handlers:
+            self.visit(handler)
+        if protects:
+            self.protected_depth -= 1
+        self._visit_stmts(node.finalbody)
+
+    visit_TryStar = visit_Try
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self.protected_depth == 0
+            and id(node) not in self._shielded
+            and _is_tracer_call(node, "begin")
+        ):
+            self.leaks.append(node)
+        self.generic_visit(node)
+
+
+@register
+class SpanLeak(Rule):
+    id = "obs-span-leak"
+    category = "observability"
+    description = (
+        "Tracer.begin() without an end() guaranteed by a finally block; an "
+        "exception in between leaks the span, corrupting nesting depth and "
+        "dropping the interval from trace totals — use `with tracer.span(...)`"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        if ctx.in_module(_OBS_WHITELIST):
+            return
+        visitor = _BeginVisitor()
+        visitor.visit(ctx.tree)
+        for node in visitor.leaks:
+            yield self.finding(
+                ctx,
+                node,
+                ".begin() outside a try/finally-paired .end(); an exception "
+                "leaks the open span — prefer `with tracer.span(...)`, or "
+                "close in a finally block",
+            )

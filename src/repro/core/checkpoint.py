@@ -35,6 +35,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.vqmc import VQMC
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = [
     "save_checkpoint",
@@ -69,29 +70,33 @@ def _payload_crc(header_bytes: bytes, params: dict[str, np.ndarray]) -> int:
 def save_checkpoint(vqmc: VQMC, path: str | Path) -> None:
     """Write the trainer's full state to ``path`` (.npz), atomically."""
     path = Path(path)
-    header = {
-        "version": _FORMAT_VERSION,
-        "global_step": vqmc.global_step,
-        "optimizer_state": vqmc.optimizer.state_dict(),
-        "rng_state": vqmc.rng.bit_generator.state,
-        "model_class": type(vqmc.model).__name__,
-    }
-    buf = io.BytesIO()
-    pickle.dump(header, buf)
-    header_bytes = buf.getvalue()
-    params = {name: p for name, p in vqmc.model.state_dict().items()}
-    arrays = {f"param/{name}": p for name, p in params.items()}
-    arrays["__header__"] = np.frombuffer(header_bytes, dtype=np.uint8)
-    arrays["__crc32__"] = np.array([_payload_crc(header_bytes, params)], dtype=np.uint32)
+    tracer = getattr(vqmc, "tracer", None) or NULL_TRACER
+    with tracer.span("checkpoint.save", step=vqmc.global_step) as span:
+        header = {
+            "version": _FORMAT_VERSION,
+            "global_step": vqmc.global_step,
+            "optimizer_state": vqmc.optimizer.state_dict(),
+            "rng_state": vqmc.rng.bit_generator.state,
+            "model_class": type(vqmc.model).__name__,
+        }
+        buf = io.BytesIO()
+        pickle.dump(header, buf)
+        header_bytes = buf.getvalue()
+        params = {name: p for name, p in vqmc.model.state_dict().items()}
+        arrays = {f"param/{name}": p for name, p in params.items()}
+        arrays["__header__"] = np.frombuffer(header_bytes, dtype=np.uint8)
+        arrays["__crc32__"] = np.array([_payload_crc(header_bytes, params)], dtype=np.uint32)
 
-    # Temp file in the same directory (os.replace must not cross devices);
-    # savez via an open handle so numpy does not append its own suffix.
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as fh:
-        np.savez(fh, **arrays)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+        # Temp file in the same directory (os.replace must not cross devices);
+        # savez via an open handle so numpy does not append its own suffix.
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        if getattr(span, "attrs", None) is not None:  # real span, not the no-op
+            span.attrs["bytes"] = path.stat().st_size
 
 
 def _read_verified(path: Path) -> tuple[dict, dict[str, np.ndarray]]:
@@ -142,21 +147,23 @@ def load_checkpoint(vqmc: VQMC, path: str | Path) -> None:
     and optimizer type; shapes are validated by ``load_state_dict``.
     """
     path = Path(path)
-    header, params = _read_verified(path)
-    if header["version"] != _FORMAT_VERSION:
-        raise ValueError(
-            f"checkpoint format v{header['version']} "
-            f"not supported (expected v{_FORMAT_VERSION})"
-        )
-    if header["model_class"] != type(vqmc.model).__name__:
-        raise TypeError(
-            f"checkpoint was written for {header['model_class']}, "
-            f"got {type(vqmc.model).__name__}"
-        )
-    vqmc.model.load_state_dict(params)
-    vqmc.optimizer.load_state_dict(header["optimizer_state"])
-    vqmc.rng.bit_generator.state = header["rng_state"]
-    vqmc.global_step = header["global_step"]
+    tracer = getattr(vqmc, "tracer", None) or NULL_TRACER
+    with tracer.span("checkpoint.restore", bytes=path.stat().st_size):
+        header, params = _read_verified(path)
+        if header["version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format v{header['version']} "
+                f"not supported (expected v{_FORMAT_VERSION})"
+            )
+        if header["model_class"] != type(vqmc.model).__name__:
+            raise TypeError(
+                f"checkpoint was written for {header['model_class']}, "
+                f"got {type(vqmc.model).__name__}"
+            )
+        vqmc.model.load_state_dict(params)
+        vqmc.optimizer.load_state_dict(header["optimizer_state"])
+        vqmc.rng.bit_generator.state = header["rng_state"]
+        vqmc.global_step = header["global_step"]
 
 
 class CheckpointCallback:

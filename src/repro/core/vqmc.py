@@ -33,6 +33,7 @@ from repro.core.energy import (
 )
 from repro.hamiltonians.base import Hamiltonian
 from repro.models.base import WaveFunction
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.optim.base import Optimizer
 from repro.optim.sr import StochasticReconfiguration
 from repro.samplers.base import Sampler
@@ -107,6 +108,13 @@ class VQMC:
         rank must pass a *distinct* stream (see
         :func:`repro.utils.rng.spawn_generators`); the driver checks ranks
         do not accidentally share a seed by comparing first draws.
+    tracer:
+        Optional :class:`repro.obs.Tracer`. When given, every step emits
+        nested phase spans (``step`` > ``sample`` / ``local_energy`` /
+        ``gradient`` / ``sr_solve`` / ``optimizer``) and the tracer is
+        attached to ``comm`` (collective spans) and to the sampler
+        (fast-path spans) so one per-rank timeline covers the whole step.
+        Default: the shared disabled tracer — near-zero overhead.
     """
 
     def __init__(
@@ -119,6 +127,7 @@ class VQMC:
         comm=None,
         seed: int | None | np.random.Generator = None,
         config: VQMCConfig | None = None,
+        tracer: Tracer | None = None,
     ):
         if model.n != hamiltonian.n:
             raise ValueError(
@@ -140,8 +149,17 @@ class VQMC:
         self.global_step = 0
         self.diverged_steps = 0
         #: per-phase wall-clock accounting (sample / energy / gradient /
-        #: update), cumulated over all steps — `vqmc.clock.summary()`.
+        #: update), cumulated over all steps — read via
+        #: ``vqmc.clock.snapshot()`` / ``vqmc.clock.summary()``.
         self.clock = WallClock()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None:
+            # One timeline per rank: collectives and sampler fast paths
+            # nest inside the step's phase spans.
+            if comm is not None and hasattr(comm, "attach_tracer"):
+                comm.attach_tracer(tracer)
+            if hasattr(sampler, "tracer"):
+                sampler.tracer = tracer
 
         if comm is not None and comm.size > 1:
             # All replicas must start from identical parameters.
@@ -164,60 +182,70 @@ class VQMC:
     # -- one optimisation step -------------------------------------------------------
 
     def step(self, batch_size: int | None = None) -> StepResult:
-        """Sample, estimate energy and gradient, update parameters."""
+        """Sample, estimate energy and gradient, update parameters.
+
+        With a tracer attached, the step emits one ``step`` span wrapping
+        the phase spans ``sample`` / ``local_energy`` / ``gradient`` /
+        ``sr_solve`` / ``optimizer`` — the decomposition behind the
+        paper's scaling tables (read it back with ``tools/trace.py``).
+        """
         t0 = time.perf_counter()
         bsz = batch_size or self.config.batch_size
-        with self.clock.measure("sample"):
-            x = self.sampler.sample(self.model, bsz, self.rng)
+        tracer = self.tracer
+        with tracer.span("step", step=self.global_step, batch=bsz):
+            with tracer.span("sample", batch=bsz), self.clock.measure("sample"):
+                x = self.sampler.sample(self.model, bsz, self.rng)
 
-        # Evaluate the amplitudes ONCE: the gradient path computes
-        # log ψ(x) anyway (with a graph or alongside the O matrix), so the
-        # energy step reuses it instead of running its own forward pass.
-        mode = self._gradient_mode()
-        self.model.zero_grad()
-        if mode == "autograd":
-            with self.clock.measure("gradient"):
-                log_psi = self.model.log_psi(x)
-            with self.clock.measure("energy"):
-                local = local_energies(
-                    self.model, self.hamiltonian, x, log_psi_x=log_psi.data
-                )
-                stats = self._combine_stats(local)
-            with self.clock.measure("gradient"):
-                # Centre with the *global* mean so distributed gradients
-                # average to the exact big-batch estimator.
-                weights = 2.0 * (local - stats.mean) / (bsz * self._world_size())
-                (log_psi * weights).sum().backward()
-                grad = self.model.flat_grad()
-                grad = self._allreduce(grad)
-        else:
-            with self.clock.measure("gradient"):
-                lp, o = self.model.log_psi_and_grads(x)
-            with self.clock.measure("energy"):
-                local = local_energies(
-                    self.model, self.hamiltonian, x, log_psi_x=lp
-                )
-                stats = self._combine_stats(local)
-            with self.clock.measure("gradient"):
-                grad = self._combined_gradient(o, local, stats)
-                if self.sr is not None:
-                    grad = self._natural_gradient(o, local, grad, stats)
-
-        if self.config.max_grad_norm is not None:
-            norm = float(np.linalg.norm(grad))
-            if norm > self.config.max_grad_norm:
-                grad = grad * (self.config.max_grad_norm / norm)
-
-        with self.clock.measure("update"):
-            if np.all(np.isfinite(grad)):
-                self.model.set_flat_grad(grad)
-                self.optimizer.step()
+            # Evaluate the amplitudes ONCE: the gradient path computes
+            # log ψ(x) anyway (with a graph or alongside the O matrix), so
+            # the energy step reuses it instead of its own forward pass.
+            mode = self._gradient_mode()
+            self.model.zero_grad()
+            if mode == "autograd":
+                with tracer.span("gradient", mode=mode), self.clock.measure("gradient"):
+                    log_psi = self.model.log_psi(x)
+                with tracer.span("local_energy"), self.clock.measure("energy"):
+                    local = local_energies(
+                        self.model, self.hamiltonian, x, log_psi_x=log_psi.data
+                    )
+                    stats = self._combine_stats(local)
+                with tracer.span("gradient", mode=mode), self.clock.measure("gradient"):
+                    # Centre with the *global* mean so distributed gradients
+                    # average to the exact big-batch estimator.
+                    weights = 2.0 * (local - stats.mean) / (bsz * self._world_size())
+                    (log_psi * weights).sum().backward()
+                    grad = self.model.flat_grad()
+                    grad = self._allreduce(grad)
             else:
-                # Divergence guard: a non-finite gradient (overflowing
-                # amplitude ratios, singular SR solve) would irreversibly
-                # poison the parameters. Skip the update; the step is still
-                # reported so callbacks see the divergence in grad_norm.
-                self.diverged_steps += 1
+                with tracer.span("gradient", mode=mode), self.clock.measure("gradient"):
+                    lp, o = self.model.log_psi_and_grads(x)
+                with tracer.span("local_energy"), self.clock.measure("energy"):
+                    local = local_energies(
+                        self.model, self.hamiltonian, x, log_psi_x=lp
+                    )
+                    stats = self._combine_stats(local)
+                with self.clock.measure("gradient"):
+                    with tracer.span("gradient", mode=mode):
+                        grad = self._combined_gradient(o, local, stats)
+                    if self.sr is not None:
+                        with tracer.span("sr_solve"):
+                            grad = self._natural_gradient(o, local, grad, stats)
+
+            with tracer.span("optimizer"), self.clock.measure("update"):
+                if self.config.max_grad_norm is not None:
+                    norm = float(np.linalg.norm(grad))
+                    if norm > self.config.max_grad_norm:
+                        grad = grad * (self.config.max_grad_norm / norm)
+                if np.all(np.isfinite(grad)):
+                    self.model.set_flat_grad(grad)
+                    self.optimizer.step()
+                else:
+                    # Divergence guard: a non-finite gradient (overflowing
+                    # amplitude ratios, singular SR solve) would
+                    # irreversibly poison the parameters. Skip the update;
+                    # the step is still reported so callbacks see the
+                    # divergence in grad_norm.
+                    self.diverged_steps += 1
         self.global_step += 1
 
         acceptance = self.sampler.last_stats.acceptance_rate
@@ -296,7 +324,13 @@ class VQMC:
         batch_size: int | None = None,
         callbacks: Sequence[Callback] = (),
     ) -> list[StepResult]:
-        """Run ``iterations`` optimisation steps; returns all step results."""
+        """Run ``iterations`` optimisation steps; returns all step results.
+
+        ``on_run_end`` is delivered from a ``finally`` block, so sinks like
+        :class:`~repro.utils.runlog.RunLogger` and
+        :class:`~repro.obs.ObsCallback` write their footer (and flush to
+        disk) even when a step or callback raises mid-run.
+        """
         if iterations < 0:
             raise ValueError(f"iterations must be >= 0, got {iterations}")
         for cb in callbacks:
@@ -310,8 +344,9 @@ class VQMC:
                     cb.on_step(result.step, result)
         except StopTraining:
             pass
-        for cb in callbacks:
-            cb.on_run_end(self)
+        finally:
+            for cb in callbacks:
+                cb.on_run_end(self)
         return results
 
     # -- evaluation ---------------------------------------------------------------------

@@ -6,6 +6,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 __all__ = [
     "ReduceOp",
     "Communicator",
@@ -125,7 +127,14 @@ class CommStats:
 
     The resilience layer (:mod:`repro.distributed.resilient`) additionally
     fills the recovery counters (``retries`` …), so fault recovery is
-    observable the same way traffic is.
+    observable the same way traffic is. Because wrappers
+    (:class:`~repro.distributed.resilient.ResilientCommunicator`, fault
+    injectors, the comm sanitizer) all delegate ``stats`` to the wrapped
+    backend, one :meth:`snapshot` call captures the full comm picture of a
+    whole stack: point-to-point traffic (``bytes_sent``/``bytes_received``
+    include framing overhead — the wire truth), collective-level payload
+    accounting (``collective_calls``/``collective_bytes``), and recovery
+    counters.
     """
 
     __slots__ = (
@@ -133,6 +142,9 @@ class CommStats:
         "messages_received",
         "bytes_sent",
         "bytes_received",
+        # -- collective-level accounting (base Communicator collectives) --
+        "collective_calls",
+        "collective_bytes",
         # -- resilience counters (ResilientCommunicator) --
         "retries",
         "checksum_errors",
@@ -149,6 +161,8 @@ class CommStats:
         self.messages_received = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.collective_calls = 0
+        self.collective_bytes = 0
         self.retries = 0
         self.checksum_errors = 0
         self.duplicates_discarded = 0
@@ -177,6 +191,17 @@ class Communicator:
 
     #: collective algorithm: 'ring' | 'rec_double' | 'naive'
     algorithm = "ring"
+
+    #: span recorder for collective latency+bytes; the class-level default
+    #: is the shared disabled tracer, so un-instrumented communicators pay
+    #: one attribute load per collective. Attach with :meth:`attach_tracer`
+    #: on the *outermost* wrapper of a stack (wrappers run the base-class
+    #: collective algorithms on themselves, so that is where spans fire).
+    tracer: Tracer = NULL_TRACER
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Report this communicator's collectives as spans on ``tracer``."""
+        self.tracer = tracer
 
     @property
     def stats(self) -> CommStats:
@@ -236,20 +261,33 @@ class Communicator:
 
     # -- collectives (default implementations) ----------------------------------
 
+    def _count_collective(self, array: np.ndarray) -> int:
+        nbytes = int(array.nbytes)
+        s = self.stats
+        s.collective_calls += 1
+        s.collective_bytes += nbytes
+        return nbytes
+
     def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
         from repro.distributed import collectives
 
         array = np.ascontiguousarray(array, dtype=np.float64)
-        if self.size == 1:
-            out = array.copy()
-        elif self.algorithm == "ring":
-            out = collectives.ring_allreduce(self, array, op)
-        elif self.algorithm == "rec_double":
-            out = collectives.recursive_doubling_allreduce(self, array, op)
-        elif self.algorithm == "naive":
-            out = collectives.naive_allreduce(self, array, op)
-        else:
-            raise ValueError(f"unknown collective algorithm {self.algorithm!r}")
+        nbytes = self._count_collective(array)
+        with self.tracer.span(
+            "comm.allreduce", bytes=nbytes, op=op, algorithm=self.algorithm
+        ):
+            if self.size == 1:
+                out = array.copy()
+            elif self.algorithm == "ring":
+                out = collectives.ring_allreduce(self, array, op)
+            elif self.algorithm == "rec_double":
+                out = collectives.recursive_doubling_allreduce(self, array, op)
+            elif self.algorithm == "naive":
+                out = collectives.naive_allreduce(self, array, op)
+            else:
+                raise ValueError(
+                    f"unknown collective algorithm {self.algorithm!r}"
+                )
         if op == "mean":
             out = out / self.size
         return out
@@ -258,26 +296,32 @@ class Communicator:
         from repro.distributed import collectives
 
         array = np.ascontiguousarray(array, dtype=np.float64)
-        if self.size == 1:
-            return array.copy()
-        return collectives.tree_broadcast(self, array, root)
+        nbytes = self._count_collective(array)
+        with self.tracer.span("comm.broadcast", bytes=nbytes, root=root):
+            if self.size == 1:
+                return array.copy()
+            return collectives.tree_broadcast(self, array, root)
 
     def allgather(self, array: np.ndarray) -> list[np.ndarray]:
         from repro.distributed import collectives
 
         array = np.ascontiguousarray(array, dtype=np.float64)
-        if self.size == 1:
-            return [array.copy()]
-        return collectives.ring_allgather(self, array)
+        nbytes = self._count_collective(array)
+        with self.tracer.span("comm.allgather", bytes=nbytes):
+            if self.size == 1:
+                return [array.copy()]
+            return collectives.ring_allgather(self, array)
 
     def reduce(self, array: np.ndarray, root: int = 0, op: str = "sum") -> np.ndarray | None:
         """Reduce to ``root``; other ranks return None."""
         from repro.distributed import collectives
 
         array = np.ascontiguousarray(array, dtype=np.float64)
-        if self.size == 1:
-            return array.copy()
-        out = collectives.tree_reduce(self, array, root, op)
+        nbytes = self._count_collective(array)
+        with self.tracer.span("comm.reduce", bytes=nbytes, op=op, root=root):
+            if self.size == 1:
+                return array.copy()
+            out = collectives.tree_reduce(self, array, root, op)
         if op == "mean" and out is not None:
             out = out / self.size
         return out
@@ -322,6 +366,7 @@ class SubCommunicator(Communicator):
         self.group = list(group)
         self._rank = self.group.index(parent.rank)
         self.algorithm = parent.algorithm
+        self.tracer = parent.tracer  # sub-collectives stay on the same timeline
 
     @property
     def size(self) -> int:

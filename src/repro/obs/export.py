@@ -1,0 +1,201 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL, cross-rank aggregation.
+
+Three consumers, three formats:
+
+- **Chrome trace-event JSON** (:func:`write_chrome_trace`): one file per
+  rank, loadable in ``chrome://tracing`` / Perfetto. Spans become complete
+  (``"ph": "X"``) events; the rank is the ``pid``, so merging per-rank
+  files (:func:`merge_chrome_traces`) yields one timeline with a process
+  lane per rank — cross-rank skew is *visible*, not just summarised.
+- **JSONL** — written by :class:`repro.obs.instrument.ObsCallback` in the
+  same one-object-per-line idiom as :class:`repro.utils.runlog.RunLogger`,
+  so the experiment tables and the traces parse with the same reader.
+- **Cross-rank aggregation** (:func:`allgather_named_floats` /
+  :func:`skew_report`): per-rank phase totals travel over the existing
+  ``Communicator.allgather`` (no new wire protocol), and the skew report
+  turns them into per-phase min/median/max and a straggler ratio — the
+  quantity the paper's exact-sampling argument says should stay ≈ 1.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.obs.tracer import SpanEvent, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "merge_chrome_traces",
+    "trace_file_name",
+    "allgather_named_floats",
+    "skew_report",
+]
+
+
+def trace_file_name(rank: int) -> str:
+    """Canonical per-rank trace file name (``trace.rank003.json``)."""
+    return f"trace.rank{rank:03d}.json"
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return repr(value)
+
+
+def chrome_trace_events(
+    events: Iterable[SpanEvent], pid: int = 0
+) -> list[dict]:
+    """Convert spans to Chrome trace-event dicts, sorted by start time.
+
+    Timestamps (``ts``) and durations (``dur``) are microseconds, as the
+    trace-event spec requires; sorting guarantees monotone ``ts`` so
+    consumers can stream.
+    """
+    out = []
+    for ev in events:
+        entry = {
+            "name": ev.name,
+            "cat": ev.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": ev.t0_ns / 1e3,
+            "dur": ev.dur_ns / 1e3,
+            "pid": pid,
+            "tid": ev.tid,
+            "args": {
+                "depth": ev.depth,
+                **{k: _json_safe(v) for k, v in (ev.attrs or {}).items()},
+            },
+        }
+        out.append(entry)
+    out.sort(key=lambda e: (e["ts"], -e["dur"]))
+    return out
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str | Path, rank: int | None = None
+) -> Path:
+    """Write one rank's spans as a Chrome trace-event JSON file.
+
+    The document is the object form (``{"traceEvents": [...]}``) with a
+    ``process_name`` metadata event naming the rank, plus drop accounting
+    in ``metadata`` so a truncated trace is labelled as such.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    pid = tracer.rank if rank is None else rank
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"rank {pid}"},
+        }
+    ]
+    events.extend(chrome_trace_events(tracer.events, pid=pid))
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"rank": pid, "dropped_events": tracer.dropped},
+    }
+    path.write_text(json.dumps(doc) + "\n", encoding="utf-8")
+    return path
+
+
+def load_chrome_trace(path: str | Path) -> list[dict]:
+    """Load trace events from either the object or bare-array JSON form."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents", [])
+    else:
+        events = doc
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a Chrome trace (no event list)")
+    return events
+
+
+def merge_chrome_traces(paths: Sequence[str | Path], out: str | Path) -> Path:
+    """Concatenate per-rank trace files into one multi-process timeline.
+
+    Ranks stay distinguishable through their ``pid``; events are re-sorted
+    globally so the merged stream stays monotone in ``ts``.
+    """
+    merged: list[dict] = []
+    for path in paths:
+        merged.extend(load_chrome_trace(path))
+    meta = [e for e in merged if e.get("ph") == "M"]
+    data = [e for e in merged if e.get("ph") != "M"]
+    data.sort(key=lambda e: (e.get("ts", 0.0), -e.get("dur", 0.0)))
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps({"traceEvents": meta + data, "displayTimeUnit": "ms"}) + "\n",
+        encoding="utf-8",
+    )
+    return out
+
+
+# -- cross-rank aggregation ---------------------------------------------------------
+
+
+def _keys_signature(keys: Sequence[str]) -> float:
+    return float(zlib.crc32("\x1f".join(keys).encode("utf-8")))
+
+
+def allgather_named_floats(comm, values: dict[str, float]) -> list[dict[str, float]]:
+    """Gather one ``{name: float}`` dict per rank over ``comm.allgather``.
+
+    Every rank must pass the *same key set* (the dicts come from identical
+    instrumentation code paths); a CRC over the sorted key list rides along
+    and a mismatch raises ``ValueError`` instead of silently zipping
+    disagreeing schemas.
+    """
+    keys = sorted(values)
+    sig = _keys_signature(keys)
+    vec = np.array([sig] + [float(values[k]) for k in keys])
+    gathered = comm.allgather(vec)
+    out = []
+    for rank, g in enumerate(gathered):
+        if g.shape[0] != vec.shape[0] or g[0] != sig:
+            raise ValueError(
+                f"rank {rank} gathered a different key schema "
+                f"(len {g.shape[0] - 1} vs {len(keys)}); all ranks must "
+                "aggregate the same named values"
+            )
+        out.append({k: float(v) for k, v in zip(keys, g[1:])})
+    return out
+
+
+def skew_report(per_rank: Sequence[dict[str, float]]) -> dict[str, dict[str, float]]:
+    """Per-name cross-rank spread: min/median/max, argmax rank, skew ratio.
+
+    ``skew`` is ``max / median`` — 1.0 means perfectly balanced ranks; the
+    straggler effect the paper's exact sampling removes shows up here as
+    ``skew >> 1`` on the ``sample`` phase of MCMC runs.
+    """
+    if not per_rank:
+        return {}
+    report: dict[str, dict[str, float]] = {}
+    for name in sorted(per_rank[0]):
+        vals = np.array([r[name] for r in per_rank])
+        med = float(np.median(vals))
+        report[name] = {
+            "min": float(vals.min()),
+            "median": med,
+            "max": float(vals.max()),
+            "max_rank": int(vals.argmax()),
+            "skew": float(vals.max() / med) if med > 0 else 1.0,
+        }
+    return report

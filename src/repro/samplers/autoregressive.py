@@ -25,6 +25,7 @@ import warnings
 import numpy as np
 
 from repro.models.base import WaveFunction
+from repro.obs.tracer import NULL_TRACER
 from repro.perf.incremental import incremental_sample, supports_incremental
 from repro.samplers.base import Sampler, SamplerStats
 
@@ -49,6 +50,9 @@ class AutoregressiveSampler(Sampler):
         if method not in ("auto", "incremental", "naive"):
             raise ValueError(f"unknown sampling method {method!r}")
         self.method = method
+        #: span recorder; :class:`repro.core.VQMC` attaches its tracer here
+        #: so fast-path vs. fallback shows up nested inside ``sample`` spans
+        self.tracer = NULL_TRACER
 
     def sample(
         self, model: WaveFunction, batch_size: int, rng: np.random.Generator
@@ -71,7 +75,10 @@ class AutoregressiveSampler(Sampler):
             )
         if use_fast:
             try:
-                result = incremental_sample(model, batch_size, rng)
+                with self.tracer.span(
+                    "sample.incremental", batch=batch_size, n=model.n
+                ):
+                    result = incremental_sample(model, batch_size, rng)
             except NotImplementedError as exc:
                 if self.method == "incremental":
                     raise
@@ -100,10 +107,11 @@ class AutoregressiveSampler(Sampler):
                 RuntimeWarning,
                 stacklevel=2,
             )
-        if _is_made(model):
-            x = model.sample(batch_size, rng, method="naive")
-        else:
-            x = model.sample(batch_size, rng)
+        with self.tracer.span("sample.naive", batch=batch_size, n=model.n):
+            if _is_made(model):
+                x = model.sample(batch_size, rng, method="naive")
+            else:
+                x = model.sample(batch_size, rng)
         self._stats = SamplerStats(
             forward_passes=model.n,
             forward_pass_equivalents=float(model.n),

@@ -8,6 +8,7 @@ and a sane default for users running sweeps.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -19,13 +20,21 @@ __all__ = ["RunLogger"]
 class RunLogger:
     """Callback writing one JSON line per training step.
 
+    Hardened against the ways long runs actually die: the footer is
+    written even when training raises (``VQMC.run`` delivers
+    ``on_run_end`` from a ``finally`` block), the file is flushed *and*
+    fsync'd at run end so a crash immediately after cannot lose the tail,
+    and non-JSON-serialisable metadata degrades to ``repr()`` instead of
+    killing the run it was meant to document.
+
     Parameters
     ----------
     path:
         Output ``.jsonl`` file (parent directories are created).
     meta:
-        Arbitrary JSON-serialisable metadata recorded in the header line
-        (instance seed, architecture, batch size, ...).
+        Arbitrary metadata recorded in the header line (instance seed,
+        architecture, batch size, ...). Values that are not JSON types are
+        recorded as their ``repr``.
     """
 
     def __init__(self, path: str | Path, meta: dict[str, Any] | None = None):
@@ -72,6 +81,8 @@ class RunLogger:
         )
 
     def on_run_end(self, vqmc) -> None:
+        if self._fh is None:
+            return  # idempotent: run already closed (or never began)
         self._write(
             {
                 "event": "run_end",
@@ -80,15 +91,20 @@ class RunLogger:
                 "global_step": vqmc.global_step,
             }
         )
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        # Crash safety: the footer marks the log complete, so make it
+        # durable — flush the userspace buffer and fsync the file.
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._fh = None
 
     # -- helpers --------------------------------------------------------------------
 
     def _write(self, record: dict) -> None:
         assert self._fh is not None, "logger used outside a run"
-        self._fh.write(json.dumps(record) + "\n")
+        # default=repr: exotic metadata (Path, ndarray, dataclasses) must
+        # degrade to a string, never crash the run being logged.
+        self._fh.write(json.dumps(record, default=repr) + "\n")
         self._fh.flush()
 
     @staticmethod

@@ -35,7 +35,15 @@ class Timer:
 
 @dataclass
 class WallClock:
-    """Accumulating named stopwatch (total seconds per label)."""
+    """Accumulating named stopwatch (total seconds per label).
+
+    Read results through :meth:`snapshot` (and clear with :meth:`reset`) —
+    the same read/run/diff idiom as
+    :class:`repro.distributed.comm.CommStats`. Poking the ``totals`` dict
+    directly still works but is deprecated for external callers; snapshots
+    are plain copies, so diffing two of them is race-free even while the
+    clock keeps accumulating.
+    """
 
     totals: dict[str, float] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
@@ -49,6 +57,22 @@ class WallClock:
 
     def mean(self, label: str) -> float:
         return self.totals[label] / max(1, self.counts.get(label, 0))
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-label ``{"total", "count", "mean"}`` copies, sorted by label."""
+        return {
+            label: {
+                "total": self.totals[label],
+                "count": float(self.counts.get(label, 0)),
+                "mean": self.mean(label),
+            }
+            for label in sorted(self.totals)
+        }
+
+    def reset(self) -> None:
+        """Zero every label (the counterpart of ``CommStats.reset``)."""
+        self.totals.clear()
+        self.counts.clear()
 
     def summary(self) -> str:
         lines = []

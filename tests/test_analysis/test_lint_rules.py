@@ -226,3 +226,86 @@ class TestRecvWithoutTimeout:
 
     def test_allows_zero_arg_connection_recv(self, tmp_path):
         assert_clean(tmp_path, "dist-recv-timeout", "msg = conn.recv()\n")
+
+
+class TestSpanLeak:
+    def test_flags_bare_begin(self, tmp_path):
+        findings = assert_flags(
+            tmp_path,
+            "obs-span-leak",
+            "def f(tracer, comm, x):\n"
+            "    span = tracer.begin('allreduce')\n"
+            "    comm.allreduce(x)\n"
+            "    tracer.end(span)\n",
+        )
+        assert "with tracer.span" in findings[0].message
+
+    def test_flags_begin_on_tracer_attribute(self, tmp_path):
+        assert_flags(
+            tmp_path,
+            "obs-span-leak",
+            "def f(self, x):\n"
+            "    s = self.tracer.begin('phase')\n"
+            "    self.tracer.end(s)\n",
+        )
+
+    def test_allows_begin_with_finally_paired_end(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "obs-span-leak",
+            "def f(tracer, work):\n"
+            "    span = tracer.begin('phase')\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        tracer.end(span)\n",
+        )
+
+    def test_except_handler_does_not_count_as_protection(self, tmp_path):
+        assert_flags(
+            tmp_path,
+            "obs-span-leak",
+            "def f(tracer, work):\n"
+            "    span = tracer.begin('phase')\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        tracer.end(span)\n",
+        )
+
+    def test_begin_inside_finally_is_not_protected(self, tmp_path):
+        assert_flags(
+            tmp_path,
+            "obs-span-leak",
+            "def f(tracer, work):\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        s = tracer.begin('cleanup')\n",
+        )
+
+    def test_allows_span_context_manager(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "obs-span-leak",
+            "def f(tracer, comm, x):\n"
+            "    with tracer.span('allreduce', bytes=x.nbytes):\n"
+            "        comm.allreduce(x)\n",
+        )
+
+    def test_allows_unrelated_begin_methods(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "obs-span-leak",
+            "def f(transaction):\n"
+            "    transaction.begin('tx')\n",
+        )
+
+    def test_obs_package_is_whitelisted(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "obs-span-leak",
+            "def f(tracer):\n"
+            "    tracer.begin('internal')\n",
+            rel="repro/obs/tracer.py",
+        )

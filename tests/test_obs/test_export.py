@@ -1,0 +1,181 @@
+"""Exporter contracts: Chrome trace round-trips, merging, cross-rank skew.
+
+The Chrome trace-event format is consumed by external viewers we cannot
+patch, so the tests pin the observable contract: the file is plain
+``json.loads``-able, ``ts`` is monotone non-decreasing over the event
+stream, spans carry ``pid`` = rank, and attribute values survive the trip
+(numpy scalars included).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import run_threaded
+from repro.obs import (
+    Tracer,
+    allgather_named_floats,
+    chrome_trace_events,
+    load_chrome_trace,
+    merge_chrome_traces,
+    skew_report,
+    trace_file_name,
+    write_chrome_trace,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _trace_some_spans(tracer, count=3):
+    for i in range(count):
+        with tracer.span("step", idx=i, batch=np.int64(128)):
+            with tracer.span("phase.inner", value=np.float64(0.5)):
+                pass
+
+
+class TestChromeTrace:
+    def test_file_name_is_zero_padded(self):
+        assert trace_file_name(3) == "trace.rank003.json"
+        assert trace_file_name(123) == "trace.rank123.json"
+
+    def test_round_trip_through_json_loads(self, tmp_path):
+        tracer = Tracer(rank=2)
+        _trace_some_spans(tracer)
+        path = write_chrome_trace(tracer, tmp_path / trace_file_name(2))
+        doc = json.loads(path.read_text())  # the raw-stdlib contract
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["metadata"] == {"rank": 2, "dropped_events": 0}
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert meta[0]["args"]["name"] == "rank 2"
+        assert len(spans) == 6
+        assert all(e["pid"] == 2 for e in spans)
+        # numpy attribute values were converted, not repr'd
+        step = next(e for e in spans if e["name"] == "step")
+        assert step["args"]["batch"] == 128
+        assert step["cat"] == "step"
+        inner = next(e for e in spans if e["name"] == "phase.inner")
+        assert inner["args"]["value"] == 0.5
+        assert inner["cat"] == "phase"
+
+    def test_timestamps_monotone_and_durations_nonnegative(self, tmp_path):
+        tracer = Tracer()
+        _trace_some_spans(tracer, count=10)
+        path = write_chrome_trace(tracer, tmp_path / "t.json")
+        spans = [e for e in load_chrome_trace(path) if e["ph"] == "X"]
+        ts = [e["ts"] for e in spans]
+        assert ts == sorted(ts)
+        assert all(e["dur"] >= 0 for e in spans)
+
+    @given(
+        tree=st.lists(st.integers(min_value=0, max_value=3), min_size=0, max_size=8)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_span_shape_round_trips(self, tmp_path_factory, tree):
+        tracer = Tracer()
+        for i, depth in enumerate(tree):
+            handles = [tracer.begin(f"s{i}.{d}") for d in range(depth + 1)]
+            for h in reversed(handles):
+                tracer.end(h)
+        out = tmp_path_factory.mktemp("trace") / "t.json"
+        write_chrome_trace(tracer, out)
+        spans = [e for e in load_chrome_trace(out) if e["ph"] == "X"]
+        assert len(spans) == len(tracer.events)
+        ts = [e["ts"] for e in spans]
+        assert ts == sorted(ts)
+
+    def test_unserialisable_attr_degrades_to_repr(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("odd", obj=object()):
+            pass
+        path = write_chrome_trace(tracer, tmp_path / "t.json")
+        (span,) = [e for e in load_chrome_trace(path) if e["ph"] == "X"]
+        assert span["args"]["obj"].startswith("<object object")
+
+    def test_dropped_events_are_labelled(self, tmp_path):
+        tracer = Tracer(max_events=1)
+        _trace_some_spans(tracer)
+        path = write_chrome_trace(tracer, tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert doc["metadata"]["dropped_events"] == 5
+
+    def test_rank_override(self, tmp_path):
+        tracer = Tracer(rank=0)
+        _trace_some_spans(tracer, count=1)
+        path = write_chrome_trace(tracer, tmp_path / "t.json", rank=7)
+        spans = [e for e in load_chrome_trace(path) if e["ph"] == "X"]
+        assert all(e["pid"] == 7 for e in spans)
+
+    def test_load_accepts_bare_array_form(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps([{"name": "x", "ph": "X", "ts": 0, "dur": 1}]))
+        assert load_chrome_trace(path)[0]["name"] == "x"
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": 17}))
+        with pytest.raises(ValueError, match="not a Chrome trace"):
+            load_chrome_trace(bad)
+
+
+class TestMerge:
+    def test_merge_keeps_ranks_separate_and_ts_monotone(self, tmp_path):
+        paths = []
+        for rank in range(3):
+            tracer = Tracer(rank=rank)
+            _trace_some_spans(tracer, count=2)
+            paths.append(write_chrome_trace(tracer, tmp_path / trace_file_name(rank)))
+        merged = merge_chrome_traces(paths, tmp_path / "merged.json")
+        events = load_chrome_trace(merged)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in spans} == {0, 1, 2}
+        ts = [e["ts"] for e in spans]
+        assert ts == sorted(ts)
+        # metadata events stay ahead of the data stream
+        kinds = [e["ph"] for e in events]
+        assert kinds[: kinds.count("M")] == ["M"] * kinds.count("M")
+
+
+class TestCrossRank:
+    def test_allgather_named_floats_agrees_across_ranks(self):
+        def worker(comm, rank):
+            mine = {"sample": float(rank), "gradient": 10.0 + rank}
+            return allgather_named_floats(comm, mine)
+
+        results = run_threaded(worker, 4)
+        expected = [
+            {"sample": float(r), "gradient": 10.0 + r} for r in range(4)
+        ]
+        for per_rank in results:
+            assert per_rank == expected
+
+    def test_schema_mismatch_raises_not_zips(self):
+        def worker(comm, rank):
+            keys = {"a": 1.0} if rank == 0 else {"b": 1.0}
+            try:
+                allgather_named_floats(comm, keys)
+                return "no error"
+            except ValueError as exc:
+                return "schema" if "schema" in str(exc) else str(exc)
+
+        assert run_threaded(worker, 2) == ["schema", "schema"]
+
+    def test_skew_report_flags_the_straggler(self):
+        per_rank = [
+            {"sample": 1.0, "gradient": 2.0},
+            {"sample": 1.0, "gradient": 2.0},
+            {"sample": 4.0, "gradient": 2.0},
+            {"sample": 1.0, "gradient": 2.0},
+        ]
+        report = skew_report(per_rank)
+        assert report["sample"]["max_rank"] == 2
+        assert report["sample"]["skew"] == pytest.approx(4.0)
+        assert report["sample"]["min"] == 1.0 and report["sample"]["max"] == 4.0
+        assert report["gradient"]["skew"] == pytest.approx(1.0)
+        assert skew_report([]) == {}
+
+    def test_chrome_events_from_empty_tracer(self):
+        assert chrome_trace_events([]) == []

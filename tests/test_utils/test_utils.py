@@ -79,6 +79,24 @@ class TestTimers:
         assert clock.mean("work") >= 0.002
         assert "work" in clock.summary()
 
+    def test_wallclock_snapshot_is_a_detached_copy(self):
+        clock = WallClock()
+        clock.add("sample", 0.5)
+        clock.add("sample", 0.25)
+        clock.add("update", 1.0)
+        snap = clock.snapshot()
+        assert list(snap) == ["sample", "update"]  # sorted by label
+        assert snap["sample"] == {"total": 0.75, "count": 2.0, "mean": 0.375}
+        clock.add("sample", 1.0)  # later accumulation must not mutate it
+        assert snap["sample"]["total"] == 0.75
+
+    def test_wallclock_reset_zeroes_everything(self):
+        clock = WallClock()
+        clock.add("work", 1.0)
+        clock.reset()
+        assert clock.snapshot() == {}
+        assert clock.totals == {} and clock.counts == {}
+
 
 class TestTables:
     def test_format_cell_variants(self):
