@@ -33,6 +33,7 @@ from repro.core.energy import (
 )
 from repro.hamiltonians.base import Hamiltonian
 from repro.models.base import WaveFunction
+from repro.obs.metrics import Metrics
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.optim.base import Optimizer
 from repro.optim.sr import StochasticReconfiguration
@@ -112,9 +113,15 @@ class VQMC:
         Optional :class:`repro.obs.Tracer`. When given, every step emits
         nested phase spans (``step`` > ``sample`` / ``local_energy`` /
         ``gradient`` / ``sr_solve`` / ``optimizer``) and the tracer is
-        attached to ``comm`` (collective spans) and to the sampler
-        (fast-path spans) so one per-rank timeline covers the whole step.
+        attached to ``comm`` (collective spans), to the sampler
+        (fast-path spans) and to ``sr`` (solve sub-spans) so one per-rank
+        timeline covers the whole step.
         Default: the shared disabled tracer — near-zero overhead.
+    metrics:
+        Optional :class:`repro.obs.Metrics` registry. Currently forwarded
+        to ``sr`` (per-solve ``sr.*`` counters: CG iterations, collective
+        bytes, incomplete solves); snapshot it after a run and merge
+        across ranks with :func:`repro.obs.merge_snapshots`.
     """
 
     def __init__(
@@ -128,6 +135,7 @@ class VQMC:
         seed: int | None | np.random.Generator = None,
         config: VQMCConfig | None = None,
         tracer: Tracer | None = None,
+        metrics: Metrics | None = None,
     ):
         if model.n != hamiltonian.n:
             raise ValueError(
@@ -153,13 +161,18 @@ class VQMC:
         #: ``vqmc.clock.snapshot()`` / ``vqmc.clock.summary()``.
         self.clock = WallClock()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         if tracer is not None:
-            # One timeline per rank: collectives and sampler fast paths
-            # nest inside the step's phase spans.
+            # One timeline per rank: collectives, sampler fast paths and
+            # SR solve sub-spans nest inside the step's phase spans.
             if comm is not None and hasattr(comm, "attach_tracer"):
                 comm.attach_tracer(tracer)
             if hasattr(sampler, "tracer"):
                 sampler.tracer = tracer
+            if sr is not None:
+                sr.attach_tracer(tracer)
+        if sr is not None and metrics is not None:
+            sr.metrics = metrics
 
         if comm is not None and comm.size > 1:
             # All replicas must start from identical parameters.
@@ -210,9 +223,11 @@ class VQMC:
                     )
                     stats = self._combine_stats(local)
                 with tracer.span("gradient", mode=mode), self.clock.measure("gradient"):
-                    # Centre with the *global* mean so distributed gradients
-                    # average to the exact big-batch estimator.
-                    weights = 2.0 * (local - stats.mean) / (bsz * self._world_size())
+                    # Centre with the *global* mean and normalise by the
+                    # *global* count so distributed gradients average to the
+                    # exact big-batch estimator even with unequal per-rank
+                    # batches (e.g. after an elastic shrink).
+                    weights = 2.0 * (local - stats.mean) / stats.count
                     (log_psi * weights).sum().backward()
                     grad = self.model.flat_grad()
                     grad = self._allreduce(grad)
@@ -229,7 +244,7 @@ class VQMC:
                         grad = self._combined_gradient(o, local, stats)
                     if self.sr is not None:
                         with tracer.span("sr_solve"):
-                            grad = self._natural_gradient(o, local, grad, stats)
+                            grad = self._natural_gradient(o, grad)
 
             with tracer.span("optimizer"), self.clock.measure("update"):
                 if self.config.max_grad_norm is not None:
@@ -294,27 +309,12 @@ class VQMC:
         partial = 2.0 * (centred @ o)
         return self._allreduce(partial) / stats.count
 
-    def _natural_gradient(
-        self,
-        o: np.ndarray,
-        local: np.ndarray,
-        grad: np.ndarray,
-        stats: EnergyStats,
-    ) -> np.ndarray:
-        """Apply SR. In parallel runs the Fisher moments are allreduced so
-        every rank solves the identical global system."""
+    def _natural_gradient(self, o: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Apply SR. The engine is communicator-aware: in parallel runs it
+        solves the identical global system on every rank, allreducing only
+        d-vectors on the CG path (see :mod:`repro.optim.sr`)."""
         assert self.sr is not None
-        if self._world_size() == 1:
-            return self.sr.natural_gradient(o, grad)
-        # Global S = ⟨O Oᵀ⟩ − ⟨O⟩⟨O⟩ᵀ from allreduced raw moments.
-        a = self._allreduce(o.T @ o)
-        m = self._allreduce(o.sum(axis=0))
-        total = stats.count
-        s = a / total - np.outer(m / total, m / total)
-        s[np.diag_indices_from(s)] += self.sr.diag_shift
-        import scipy.linalg
-
-        return scipy.linalg.solve(s, grad, assume_a="pos")
+        return self.sr.natural_gradient(o, grad, comm=self.comm)
 
     # -- training loop -----------------------------------------------------------------
 

@@ -94,6 +94,12 @@ def run_data_parallel(
         ``'threads'`` (default, cheap) or ``'processes'`` (fork; honest
         address-space separation).
     """
+    if backend not in ("threads", "processes"):
+        # Validate before the world_size == 1 shortcut: a typo'd backend
+        # must fail loudly at any world size, not only when it is reached.
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'threads' or 'processes'"
+        )
     if world_size == 1:
         from repro.distributed.serial import SerialCommunicator
 
@@ -109,7 +115,7 @@ def run_data_parallel(
             args=(builder, iterations, mini_batch_size, seed),
             timeout=timeout,
         )
-    elif backend == "processes":
+    else:
         from repro.distributed.mp import run_processes
 
         results = run_processes(
@@ -118,6 +124,4 @@ def run_data_parallel(
             args=(builder, iterations, mini_batch_size, seed),
             timeout=timeout,
         )
-    else:
-        raise ValueError(f"unknown backend {backend!r}")
     return results[0]

@@ -9,7 +9,7 @@ from repro.optim.base import Optimizer
 from repro.optim.sgd import SGD
 from repro.optim.adam import Adam
 from repro.optim.rmsprop import RMSprop, AdaGrad
-from repro.optim.sr import StochasticReconfiguration
+from repro.optim.sr import SRSolveInfo, StochasticReconfiguration
 from repro.optim.lr_scheduler import ConstantLR, StepLR, CosineAnnealingLR
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "RMSprop",
     "AdaGrad",
     "StochasticReconfiguration",
+    "SRSolveInfo",
     "ConstantLR",
     "StepLR",
     "CosineAnnealingLR",

@@ -21,19 +21,111 @@ Two solver paths:
   Right choice when ``d ≲ 2000``.
 - ``cg``: matrix-free conjugate gradient with the centred matvec
   ``S v = Ocᵀ (Oc v) / B`` — O(Bd) per iteration, never forms S. Right
-  choice for large models, and the form a distributed implementation needs
-  (each matvec is two allreduce-able batched products).
+  choice for large models.
 
 ``solver='auto'`` switches on dimension.
+
+Distributed solves
+------------------
+``natural_gradient`` accepts a :class:`~repro.distributed.comm.Communicator`
+and then solves the *global* system — the one a single process would build
+from the concatenated batch — with every rank holding only its local ``O``
+shard:
+
+- centring uses the **global** mean: one allreduce of the length-``d+1``
+  vector ``[Σ_local O, B_local]`` yields ``⟨O⟩`` and the global sample
+  count in a single collective;
+- the dense path allreduces the local ``Ocᵀ Oc`` (d×d — inherent to
+  materialising S, and only ever chosen when ``d`` is small);
+- the CG path is **matrix-free end to end**: each matvec computes the
+  local ``Ocᵀ(Oc v)`` and allreduces that *d-vector* — per-solve
+  communication is O(d·iters), never O(d²). This is the jVMC /
+  scalable-NQS scheme and the reason SR scales to the paper's
+  10,000-dimensional problems.
+
+Every rank receives identical allreduce results (the collective algorithms
+are cross-rank bit-reproducible for ``sum``), so all ranks run the same CG
+iterates, terminate at the same iteration, and issue congruent collective
+sequences — checked under :class:`repro.analysis.CommSanitizer` in the
+tests. Solver resolution (``'auto'``) depends only on ``d``, which is
+identical everywhere by construction.
+
+Every solve records an :class:`SRSolveInfo` in :attr:`last_solve`
+(resolved solver, CG iterations, relative residual, incomplete flag,
+collective payload bytes) and, when a :class:`~repro.obs.Metrics` registry
+is attached, bumps the ``sr.*`` counters.
 """
 
 from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.linalg
 import scipy.sparse.linalg
 
-__all__ = ["StochasticReconfiguration"]
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["StochasticReconfiguration", "SRSolveInfo"]
+
+
+def _cg(op, b: np.ndarray, tol: float, maxiter: int | None):
+    """``scipy.sparse.linalg.cg`` with an iteration counter and a version shim.
+
+    SciPy renamed the relative tolerance from ``tol`` to ``rtol`` in 1.12;
+    passing the wrong keyword TypeErrors, so the name is resolved from the
+    live signature. Returns ``(solution, info, iterations)``.
+    """
+    iterations = 0
+
+    def _count(_xk) -> None:
+        nonlocal iterations
+        iterations += 1
+
+    kwargs = {"atol": 0.0, "maxiter": maxiter, "callback": _count}
+    if "rtol" in inspect.signature(scipy.sparse.linalg.cg).parameters:
+        kwargs["rtol"] = tol
+    else:  # SciPy < 1.12 spelled the relative tolerance 'tol'
+        kwargs["tol"] = tol
+    sol, info = scipy.sparse.linalg.cg(op, b, **kwargs)
+    return sol, info, iterations
+
+
+@dataclass(frozen=True)
+class SRSolveInfo:
+    """Diagnostics of one ``natural_gradient`` solve.
+
+    Attributes
+    ----------
+    solver:
+        The *resolved* solver — ``'dense'`` or ``'cg'``, never ``'auto'``.
+    distributed:
+        Whether the solve allreduced over a communicator.
+    d, samples:
+        Parameter count and **global** sample count feeding the Fisher
+        estimate (summed over ranks in distributed solves).
+    iterations:
+        CG iterations taken (0 on the dense path).
+    residual:
+        Relative residual ``‖(S + λI)δ − F‖ / ‖F‖`` of the returned
+        direction against the global system.
+    incomplete:
+        CG stopped at ``cg_maxiter`` before reaching ``cg_tol`` (the
+        partial iterate is still a descent direction and is returned).
+    comm_bytes:
+        Collective payload bytes this solve moved (0 in serial solves):
+        O(d·iters) for CG, O(d²) for dense.
+    """
+
+    solver: str
+    distributed: bool
+    d: int
+    samples: int
+    iterations: int
+    residual: float
+    incomplete: bool
+    comm_bytes: int
 
 
 class StochasticReconfiguration:
@@ -45,11 +137,32 @@ class StochasticReconfiguration:
         Regularisation λ added to the diagonal of S (paper: 0.001).
     solver:
         ``'dense'``, ``'cg'`` or ``'auto'`` (dense below ``dense_threshold``).
+        Honoured identically in serial and distributed solves.
     dense_threshold:
         Parameter-count crossover for ``'auto'``.
     cg_tol, cg_maxiter:
         Conjugate-gradient stopping controls (matrix-free path).
+
+    Attributes
+    ----------
+    last_solve:
+        :class:`SRSolveInfo` of the most recent solve (None before the
+        first).
+    last_cg_incomplete:
+        Whether the most recent solve was a CG solve that hit
+        ``cg_maxiter``; ``False`` after dense solves and before the first
+        solve.
+    tracer:
+        Span recorder for solve sub-spans (``sr.center`` / ``sr.dense`` /
+        ``sr.cg``); defaults to the shared disabled tracer. Attach with
+        :meth:`attach_tracer` — the VQMC driver does this for you.
+    metrics:
+        Optional :class:`repro.obs.Metrics`; when set, each solve bumps
+        ``sr.solves`` / ``sr.cg_iterations`` / ``sr.cg_incomplete`` /
+        ``sr.comm_bytes`` and gauges ``sr.residual``.
     """
+
+    tracer: Tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -68,6 +181,13 @@ class StochasticReconfiguration:
         self.dense_threshold = dense_threshold
         self.cg_tol = cg_tol
         self.cg_maxiter = cg_maxiter
+        self.last_cg_incomplete = False
+        self.last_solve: SRSolveInfo | None = None
+        self.metrics = None
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Report solve sub-spans on ``tracer`` (the Communicator idiom)."""
+        self.tracer = tracer
 
     # -- matrix construction ----------------------------------------------------
 
@@ -78,47 +198,141 @@ class StochasticReconfiguration:
         oc = o - o.mean(axis=0, keepdims=True)
         return oc.T @ oc / o.shape[0]
 
+    # -- centring and the matrix-free operator -----------------------------------
+
+    @staticmethod
+    def _center(o: np.ndarray, comm) -> tuple[np.ndarray, int]:
+        """Centre ``O`` with the (global) mean; return ``(Oc, total_count)``.
+
+        With a communicator the mean is the **global** one — allreducing
+        the length-``d+1`` vector ``[Σ_local O, B_local]`` yields both the
+        column sums and the global sample count in one collective.
+        """
+        bsz, d = o.shape
+        if comm is None or comm.size == 1:
+            return o - o.mean(axis=0, keepdims=True), bsz
+        sums = comm.allreduce(
+            np.concatenate([o.sum(axis=0), [float(bsz)]]), op="sum"
+        )
+        total = int(round(sums[-1]))
+        return o - sums[:d] / total, total
+
+    def fisher_operator(self, per_sample_o: np.ndarray, comm=None):
+        """The action of ``(S + λI)`` on d-vectors, matrix-free.
+
+        Returns ``(matvec, total_count)`` where ``matvec(v)`` evaluates the
+        globally-centred ``Ocᵀ(Oc v)/N + λv``. With a communicator, each
+        call allreduces one d-vector — never a d×d matrix — so the
+        operator is exactly the dense global-S matvec (property-tested in
+        ``tests/test_optim/test_sr_distributed.py``) at O(d) communication.
+        """
+        o = np.asarray(per_sample_o, dtype=np.float64)
+        oc, total = self._center(o, comm)
+        matvec = self._matvec_from(oc, total, comm)
+        return matvec, total
+
+    def _matvec_from(self, oc: np.ndarray, total: int, comm):
+        distributed = comm is not None and comm.size > 1
+
+        def matvec(v: np.ndarray) -> np.ndarray:
+            sv = oc.T @ (oc @ v)
+            if distributed:
+                sv = comm.allreduce(sv, op="sum")
+            return sv / total + self.diag_shift * v
+
+        return matvec
+
     # -- solve -------------------------------------------------------------------
 
     def natural_gradient(
-        self, per_sample_o: np.ndarray, grad: np.ndarray
+        self, per_sample_o: np.ndarray, grad: np.ndarray, comm=None
     ) -> np.ndarray:
-        """Return ``(S + λI)^{-1} grad``."""
+        """Return ``(S + λI)^{-1} grad`` for the (global) Fisher matrix.
+
+        Parameters
+        ----------
+        per_sample_o:
+            This rank's ``O`` shard, shape ``(B_local, d)``.
+        grad:
+            The *globally reduced* energy gradient, shape ``(d,)`` —
+            identical on every rank in distributed runs.
+        comm:
+            Optional communicator. When given (and ``size > 1``), the
+            solve targets the global system over all ranks' samples:
+            the CG path allreduces only d-vectors (one per iteration);
+            the dense path allreduces the d×d moment matrix. All solver
+            selection (``'auto'``/``'dense'``/``'cg'``) and CG controls
+            behave identically in serial and parallel.
+        """
         o = np.asarray(per_sample_o, dtype=np.float64)
         grad = np.asarray(grad, dtype=np.float64)
         bsz, d = o.shape
         if grad.shape != (d,):
             raise ValueError(f"grad shape {grad.shape} != ({d},)")
 
+        distributed = comm is not None and comm.size > 1
+        bytes_before = comm.stats.collective_bytes if distributed else 0
+        tracer = self.tracer
+
+        # 'auto' resolves on d alone — identical on every rank, so all
+        # ranks pick the same path and issue congruent collectives.
         solver = self.solver
         if solver == "auto":
             solver = "dense" if d <= self.dense_threshold else "cg"
 
+        with tracer.span("sr.center", d=d, distributed=distributed):
+            oc, total = self._center(o, comm)
+
         if solver == "dense":
-            s = self.fisher_matrix(o)
-            s[np.diag_indices_from(s)] += self.diag_shift
-            return scipy.linalg.solve(s, grad, assume_a="pos")
-
-        # Matrix-free CG: S v = Ocᵀ(Oc v)/B + λ v.
-        oc = o - o.mean(axis=0, keepdims=True)
-
-        def matvec(v: np.ndarray) -> np.ndarray:
-            return oc.T @ (oc @ v) / bsz + self.diag_shift * v
-
-        op = scipy.sparse.linalg.LinearOperator((d, d), matvec=matvec)
-        sol, info = scipy.sparse.linalg.cg(
-            op,
-            grad,
-            rtol=self.cg_tol,
-            atol=0.0,
-            maxiter=self.cg_maxiter,
-        )
-        if info > 0:
-            # CG hit maxiter; the partial solution is still a descent
-            # direction (S is PSD + λI), so use it but record the event.
-            self.last_cg_incomplete = True
+            with tracer.span("sr.dense", d=d, distributed=distributed):
+                s = oc.T @ oc
+                if distributed:
+                    s = comm.allreduce(s, op="sum")
+                s /= total
+                s[np.diag_indices_from(s)] += self.diag_shift
+                sol = scipy.linalg.solve(s, grad, assume_a="pos")
+                residual = float(
+                    np.linalg.norm(s @ sol - grad)
+                    / max(np.linalg.norm(grad), np.finfo(np.float64).tiny)
+                )
+            iterations, incomplete = 0, False
         else:
-            self.last_cg_incomplete = False
+            matvec = self._matvec_from(oc, total, comm)
+            op = scipy.sparse.linalg.LinearOperator((d, d), matvec=matvec)
+            with tracer.span("sr.cg", d=d, distributed=distributed):
+                sol, info, iterations = _cg(op, grad, self.cg_tol, self.cg_maxiter)
+                # One extra matvec for the residual — 1/iters overhead,
+                # and it keeps "incomplete" quantified, not just flagged.
+                residual = float(
+                    np.linalg.norm(matvec(sol) - grad)
+                    / max(np.linalg.norm(grad), np.finfo(np.float64).tiny)
+                )
+            # info > 0: CG hit maxiter; the partial solution is still a
+            # descent direction (S is PSD + λI), so use it but record it.
+            incomplete = info > 0
+
+        self.last_cg_incomplete = incomplete
+        comm_bytes = (
+            comm.stats.collective_bytes - bytes_before if distributed else 0
+        )
+        self.last_solve = SRSolveInfo(
+            solver=solver,
+            distributed=distributed,
+            d=d,
+            samples=total,
+            iterations=iterations,
+            residual=residual,
+            incomplete=incomplete,
+            comm_bytes=comm_bytes,
+        )
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("sr.solves")
+            metrics.inc("sr.cg_iterations", iterations)
+            if incomplete:
+                metrics.inc("sr.cg_incomplete")
+            metrics.inc("sr.comm_bytes", comm_bytes)
+            metrics.set("sr.residual", residual)
         return sol
 
     # -- gradient assembly (shared with the VQMC driver) ---------------------------

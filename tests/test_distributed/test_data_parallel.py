@@ -161,8 +161,61 @@ class TestGradientExactness:
         for r in run_threaded(worker, L):
             assert np.allclose(r, expect, atol=1e-12)
 
-    def test_distributed_sr_equals_big_batch_sr(self, small_tim):
-        """SR with allreduced Fisher moments = single-process SR."""
+    def test_autograd_exact_with_unequal_rank_batches(self, small_tim):
+        """Regression: the autograd path normalised by `bsz × world_size`,
+        i.e. it assumed equal per-rank batches — unequal shards (the
+        elastic-shrink shape) gave a biased gradient. It must use the
+        global sample count, like the per-sample path always did."""
+        n, total, L = 6, 48, 2
+        splits = [30, 18]  # deliberately unequal
+        master = MADE(n, hidden=8, rng=np.random.default_rng(3))
+        full_x = master.sample(total, np.random.default_rng(5))
+
+        class FixedSampler:
+            exact = True
+
+            def __init__(self, x):
+                self.x = x
+
+            def sample(self, model, batch_size, rng):
+                return self.x
+
+            @property
+            def last_stats(self):
+                from repro.samplers.base import SamplerStats
+
+                return SamplerStats()
+
+        ref_model = MADE(n, hidden=8, rng=np.random.default_rng(3))
+        ref = VQMC(
+            ref_model, small_tim, FixedSampler(full_x),
+            SGD(ref_model.parameters(), lr=0.1), seed=0,
+            config=VQMCConfig(gradient_mode="autograd"),
+        )
+        ref.step(batch_size=total)
+        expect = ref_model.flat_parameters()
+
+        offsets = np.concatenate([[0], np.cumsum(splits)])
+
+        def worker(comm, rank):
+            model = MADE(n, hidden=8, rng=np.random.default_rng(3))
+            shard = full_x[offsets[rank]:offsets[rank + 1]]
+            vqmc = VQMC(
+                model, small_tim, FixedSampler(shard),
+                SGD(model.parameters(), lr=0.1), comm=comm, seed=0,
+                config=VQMCConfig(gradient_mode="autograd"),
+            )
+            vqmc.step(batch_size=splits[rank])
+            return model.flat_parameters()
+
+        for r in run_threaded(worker, L):
+            assert np.allclose(r, expect, atol=1e-12)
+
+    @pytest.mark.parametrize("solver,atol", [("dense", 1e-9), ("cg", 1e-6)])
+    def test_distributed_sr_equals_big_batch_sr(self, small_tim, solver, atol):
+        """Distributed SR = single-process big-batch SR, for BOTH solvers —
+        the configured solver must be honoured when `comm.size > 1`
+        (regression: CG used to be silently replaced by a dense solve)."""
         n, total, L = 6, 32, 2
         mbs = total // L
         master = MADE(n, hidden=8, rng=np.random.default_rng(3))
@@ -198,14 +251,16 @@ class TestGradientExactness:
             vqmc = VQMC(
                 model, small_tim, FixedSampler(shard),
                 SGD(model.parameters(), lr=0.1),
-                sr=StochasticReconfiguration(solver="dense"),
+                sr=StochasticReconfiguration(solver=solver),
                 comm=comm, seed=0,
             )
             vqmc.step(batch_size=mbs)
+            assert vqmc.sr.last_solve.solver == solver
+            assert vqmc.sr.last_solve.distributed
             return model.flat_parameters()
 
         for r in run_threaded(worker, L):
-            assert np.allclose(r, expect, atol=1e-9)
+            assert np.allclose(r, expect, atol=atol)
 
 
 class TestRunDataParallel:
@@ -241,6 +296,15 @@ class TestRunDataParallel:
         with pytest.raises(ValueError):
             run_data_parallel(
                 _builder_factory(), 2, iterations=1, mini_batch_size=4,
+                backend="quantum",
+            )
+
+    def test_unknown_backend_rejected_at_world_size_one(self):
+        """Regression: the serial shortcut used to silently ignore an
+        invalid backend instead of validating it."""
+        with pytest.raises(ValueError, match="quantum"):
+            run_data_parallel(
+                _builder_factory(), 1, iterations=1, mini_batch_size=4,
                 backend="quantum",
             )
 

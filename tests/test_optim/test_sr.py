@@ -83,6 +83,98 @@ class TestSolvers:
             StochasticReconfiguration().natural_gradient(o_matrix, np.zeros(3))
 
 
+class TestSolveDiagnostics:
+    def test_last_cg_incomplete_defined_before_any_solve(self):
+        """Regression: reading the flag used to AttributeError before the
+        first CG solve (it was only assigned inside the CG branch)."""
+        sr = StochasticReconfiguration()
+        assert sr.last_cg_incomplete is False
+        assert sr.last_solve is None
+
+    def test_last_cg_incomplete_false_after_dense_solve(self, o_matrix, rng):
+        """Regression: a dense solve must (re)set the flag, not leave the
+        previous CG solve's value (or nothing) behind."""
+        g = rng.normal(size=10)
+        sr = StochasticReconfiguration(solver="cg", cg_maxiter=1, cg_tol=1e-14)
+        sr.natural_gradient(o_matrix, g)
+        assert sr.last_cg_incomplete is True  # 1 iteration cannot converge
+        sr.solver = "dense"
+        sr.natural_gradient(o_matrix, g)
+        assert sr.last_cg_incomplete is False
+
+    def test_solve_info_records_solver_and_residual(self, o_matrix, rng):
+        g = rng.normal(size=10)
+        sr = StochasticReconfiguration(solver="auto", dense_threshold=5)
+        sr.natural_gradient(o_matrix, g)
+        info = sr.last_solve
+        assert info.solver == "cg"  # d=10 > threshold: auto resolved to CG
+        assert not info.distributed and info.comm_bytes == 0
+        assert info.d == 10 and info.samples == 64
+        assert info.iterations > 0 and info.residual < 1e-6
+        assert info.incomplete is False
+
+    def test_incomplete_solve_still_returns_descent_direction(self, o_matrix, rng):
+        g = rng.normal(size=10)
+        sr = StochasticReconfiguration(
+            diag_shift=1e-3, solver="cg", cg_maxiter=2, cg_tol=1e-14
+        )
+        delta = sr.natural_gradient(o_matrix, g)
+        assert sr.last_solve.incomplete and sr.last_solve.iterations == 2
+        assert np.all(np.isfinite(delta))
+        assert delta @ g > 0  # (S+λI)⁻¹-ish applied to g keeps positivity
+
+    def test_metrics_counters(self, o_matrix, rng):
+        from repro.obs import Metrics
+
+        sr = StochasticReconfiguration(solver="cg")
+        sr.metrics = Metrics()
+        sr.natural_gradient(o_matrix, rng.normal(size=10))
+        snap = sr.metrics.snapshot()
+        assert snap["counters"]["sr.solves"] == 1
+        assert snap["counters"]["sr.cg_iterations"] == sr.last_solve.iterations
+
+
+class TestScipyCompat:
+    """The CG tolerance keyword is `rtol` only from SciPy 1.12; older
+    releases spell it `tol`. The shim resolves it from the live signature."""
+
+    def test_new_scipy_gets_rtol(self, monkeypatch):
+        import scipy.sparse.linalg
+
+        from repro.optim import sr as sr_mod
+
+        seen = {}
+
+        def fake_cg(op, b, *, rtol, atol, maxiter, callback=None):
+            seen["rtol"] = rtol
+            return np.zeros_like(b), 0
+
+        monkeypatch.setattr(scipy.sparse.linalg, "cg", fake_cg)
+        sol, info, iters = sr_mod._cg(None, np.ones(3), tol=1e-7, maxiter=5)
+        assert seen["rtol"] == 1e-7 and info == 0 and iters == 0
+
+    def test_old_scipy_falls_back_to_tol(self, monkeypatch):
+        import scipy.sparse.linalg
+
+        from repro.optim import sr as sr_mod
+
+        seen = {}
+
+        def fake_cg(op, b, *, tol, atol, maxiter, callback=None):
+            seen["tol"] = tol
+            return np.zeros_like(b), 0
+
+        monkeypatch.setattr(scipy.sparse.linalg, "cg", fake_cg)
+        sol, info, iters = sr_mod._cg(None, np.ones(3), tol=1e-7, maxiter=5)
+        assert seen["tol"] == 1e-7
+
+    def test_real_scipy_accepts_the_resolved_keyword(self, o_matrix, rng):
+        # Whatever this environment's SciPy is, the solve must not TypeError.
+        sr = StochasticReconfiguration(solver="cg")
+        delta = sr.natural_gradient(o_matrix, rng.normal(size=10))
+        assert np.all(np.isfinite(delta))
+
+
 class TestEnergyGradient:
     def test_covariance_form(self, o_matrix, rng):
         l = rng.normal(size=64)
