@@ -12,11 +12,14 @@ Split by invariant family:
   diagnose).
 - :mod:`repro.analysis.rules.observability` — span hygiene for
   :mod:`repro.obs` (a leaked ``begin`` silently corrupts trace totals).
+- :mod:`repro.analysis.rules.jit` — tape safety for the step compiler
+  (data-dependent control flow on the traced forward surface).
 """
 
 from repro.analysis.rules import (  # noqa: F401
     autograd,
     determinism,
     distributed,
+    jit,
     observability,
 )

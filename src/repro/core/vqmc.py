@@ -57,6 +57,12 @@ class VQMCConfig:
         ``'autograd'`` (tape), ``'per_sample'`` (closed-form O matrix), or
         ``'auto'`` — per-sample whenever SR is active (it needs O anyway),
         autograd otherwise.
+    compile:
+        ``'auto'`` (default) traces the gradient hot path once per
+        (shape, dtype, parameter-structure) guard key and replays it as a
+        fused :class:`repro.jit.CompiledPlan`, silently falling back to the
+        interpreter for models the tracer cannot handle; ``'on'`` makes an
+        untraceable step an error; ``'off'`` always interprets.
     max_grad_norm:
         Optional global-norm gradient clipping (applied after SR). The
         paper clips nothing; this is the standard guard for the unstable
@@ -65,6 +71,7 @@ class VQMCConfig:
 
     batch_size: int = 1024
     gradient_mode: str = "auto"
+    compile: str = "auto"
     max_grad_norm: float | None = None
 
     def __post_init__(self) -> None:
@@ -72,6 +79,8 @@ class VQMCConfig:
             raise ValueError(f"batch_size must be positive, got {self.batch_size}")
         if self.gradient_mode not in ("auto", "autograd", "per_sample"):
             raise ValueError(f"unknown gradient_mode {self.gradient_mode!r}")
+        if self.compile not in ("auto", "on", "off"):
+            raise ValueError(f"unknown compile mode {self.compile!r}")
         if self.max_grad_norm is not None and self.max_grad_norm <= 0:
             raise ValueError(f"max_grad_norm must be > 0, got {self.max_grad_norm}")
 
@@ -162,6 +171,12 @@ class VQMC:
         self.clock = WallClock()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        #: lazily created :class:`repro.jit.StepCompiler`; one per driver.
+        self._compiler = None
+        #: sticky fallback reasons keyed by gradient path ('autograd' /
+        #: 'per_sample'): once a path proves untraceable for this model the
+        #: driver stops re-attempting compilation (compile='auto' only).
+        self._jit_fallback: dict[str, str] = {}
         if tracer is not None:
             # One timeline per rank: collectives, sampler fast paths and
             # SR solve sub-spans nest inside the step's phase spans.
@@ -192,10 +207,50 @@ class VQMC:
             )
         return mode
 
+    # -- step compilation --------------------------------------------------------
+
+    def _plan(self, x: np.ndarray, compile_mode: str, path: str):
+        """Return a :class:`repro.jit.CompiledPlan` for batch ``x`` or
+        ``None`` to run the interpreter.
+
+        ``path`` is ``'autograd'`` (scalar adjoint sweep) or ``'per_sample'``
+        (batched O-matrix). Under ``compile='auto'`` an untraceable path is
+        remembered and never re-attempted; under ``'on'`` it raises.
+        """
+        if compile_mode == "off" or path in self._jit_fallback:
+            return None
+        from repro.jit import StepCompiler, TapeDivergenceError, TraceError
+
+        if self._compiler is None:
+            self._compiler = StepCompiler(
+                self.model,
+                metrics=self.metrics,
+                tracer=None if self.tracer is NULL_TRACER else self.tracer,
+            )
+        try:
+            if path == "per_sample":
+                return self._compiler.per_sample_plan(x)
+            return self._compiler.plan_for(x)
+        except (TraceError, TapeDivergenceError) as exc:
+            if compile_mode == "on":
+                raise
+            self._jit_fallback[path] = str(exc)
+            if self.metrics is not None:
+                self.metrics.counter("jit.fallback").inc()
+            return None
+
     # -- one optimisation step -------------------------------------------------------
 
-    def step(self, batch_size: int | None = None) -> StepResult:
+    def step(
+        self, batch_size: int | None = None, compile: str | None = None
+    ) -> StepResult:
         """Sample, estimate energy and gradient, update parameters.
+
+        ``compile`` overrides ``config.compile`` for this step
+        (``'auto'``/``'on'``/``'off'``). When the compiled path runs, the
+        forward and backward replays are wrapped in ``jit.replay`` spans
+        (with a ``phase`` attribute naming the interpreted-phase
+        equivalent) nested inside the usual phase spans.
 
         With a tracer attached, the step emits one ``step`` span wrapping
         the phase spans ``sample`` / ``local_energy`` / ``gradient`` /
@@ -204,6 +259,9 @@ class VQMC:
         """
         t0 = time.perf_counter()
         bsz = batch_size or self.config.batch_size
+        cmode = compile if compile is not None else self.config.compile
+        if cmode not in ("auto", "on", "off"):
+            raise ValueError(f"unknown compile mode {cmode!r}")
         tracer = self.tracer
         with tracer.span("step", step=self.global_step, batch=bsz):
             with tracer.span("sample", batch=bsz), self.clock.measure("sample"):
@@ -216,10 +274,17 @@ class VQMC:
             self.model.zero_grad()
             if mode == "autograd":
                 with tracer.span("gradient", mode=mode), self.clock.measure("gradient"):
-                    log_psi = self.model.log_psi(x)
+                    plan = self._plan(x, cmode, "autograd")
+                    if plan is not None:
+                        with tracer.span("jit.replay", phase="gradient",
+                                         stage="forward", batch=bsz):
+                            log_psi_x = plan.forward(x)
+                    else:
+                        log_psi = self.model.log_psi(x)
+                        log_psi_x = log_psi.data
                 with tracer.span("local_energy"), self.clock.measure("energy"):
                     local = local_energies(
-                        self.model, self.hamiltonian, x, log_psi_x=log_psi.data
+                        self.model, self.hamiltonian, x, log_psi_x=log_psi_x
                     )
                     stats = self._combine_stats(local)
                 with tracer.span("gradient", mode=mode), self.clock.measure("gradient"):
@@ -228,12 +293,26 @@ class VQMC:
                     # exact big-batch estimator even with unequal per-rank
                     # batches (e.g. after an elastic shrink).
                     weights = 2.0 * (local - stats.mean) / stats.count
-                    (log_psi * weights).sum().backward()
-                    grad = self.model.flat_grad()
+                    if plan is not None:
+                        # Seeding the adjoint sweep with the weights is the
+                        # surrogate loss ``(log_psi * weights).sum()`` by the
+                        # chain rule — no surrogate graph is ever built.
+                        with tracer.span("jit.replay", phase="gradient",
+                                         stage="backward", batch=bsz):
+                            grad = plan.gradient(weights).copy()
+                    else:
+                        (log_psi * weights).sum().backward(free_graph=True)
+                        grad = self.model.flat_grad()
                     grad = self._allreduce(grad)
             else:
                 with tracer.span("gradient", mode=mode), self.clock.measure("gradient"):
-                    lp, o = self.model.log_psi_and_grads(x)
+                    plan = self._plan(x, cmode, "per_sample")
+                    if plan is not None:
+                        with tracer.span("jit.replay", phase="gradient",
+                                         stage="per_sample", batch=bsz):
+                            lp, o = plan.per_sample(x)
+                    else:
+                        lp, o = self.model.log_psi_and_grads(x)
                 with tracer.span("local_energy"), self.clock.measure("energy"):
                     local = local_energies(
                         self.model, self.hamiltonian, x, log_psi_x=lp

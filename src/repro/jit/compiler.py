@@ -1,0 +1,240 @@
+"""Guarded step compilation: trace once, replay until a guard fails.
+
+:class:`StepCompiler` owns the trace → fuse → plan pipeline for one model.
+Each call to :meth:`plan_for` checks the current **guard key** — input
+shape and dtype plus the parameter structure (object identity, shape,
+dtype per parameter) — against the cached plan:
+
+- key matches → cache hit, replay the existing plan (parameter *values*
+  are read live from ``Parameter.data``, so optimizer updates never miss);
+- key differs → guard miss, transparently re-trace and re-compile;
+- the step is untraceable (:class:`TraceError`) → the caller falls back to
+  the interpreter.
+
+Every freshly built plan is verified before first use: the forward replay
+is compared node-by-node against the interpreter's traced activations, and
+the compiled gradient against an autograd backward on the traced graph.
+Divergence raises :class:`TapeDivergenceError` with the offending op index
+and call site. With ``verify_replay=True`` the comparison re-runs on
+*every* replay (slow; for tests and debugging data-dependent control flow).
+
+Metrics (when a registry is attached): counters ``jit.trace``,
+``jit.cache_hit``, ``jit.guard_miss``; gauge ``jit.arena_bytes``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jit.errors import TapeDivergenceError, TraceError
+from repro.jit.plan import CompiledPlan
+from repro.jit.tape import trace
+
+__all__ = ["StepCompiler"]
+
+#: compiled vs interpreted agreement bound asserted after every (re)trace —
+#: fusion may reorder float ops, so bit-identity is not guaranteed, but the
+#: kernels mirror the interpreter's stable formulas closely enough that the
+#: test suite pins this at 1e-10.
+VERIFY_RTOL = 1e-9
+VERIFY_ATOL = 1e-12
+
+
+class StepCompiler:
+    """Trace-and-replay compiler for a model's ``log_psi`` hot path.
+
+    Parameters
+    ----------
+    model:
+        The wavefunction (or any callable-owning module); the traced
+        function defaults to ``model.log_psi``.
+    metrics:
+        Optional :class:`repro.obs.Metrics` registry for cache-hit /
+        guard-miss / arena-size instrumentation.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; tracing and build-time
+        verification run inside a ``jit.trace`` span.
+    verify_replay:
+        Compare every replay against a fresh interpreted run (slow).
+    fn:
+        Override the traced callable (signature ``fn(x) -> Tensor``).
+
+    Not thread-safe: use one compiler per driver rank.
+    """
+
+    def __init__(self, model, metrics=None, tracer=None, verify_replay=False,
+                 fn=None):
+        self.model = model
+        self.metrics = metrics
+        self.tracer = tracer
+        self.verify_replay = verify_replay
+        self._fn = fn if fn is not None else model.log_psi
+        self._plan: CompiledPlan | None = None
+        self._guard = None
+        self.stats = {"traces": 0, "cache_hits": 0, "guard_misses": 0}
+
+    # -- guards ------------------------------------------------------------------
+
+    def _check_overrides(self) -> None:
+        """A compiled plan replays the *class* implementation captured at
+        trace time; an instance-level override of an amplitude method (tests
+        and ablations monkeypatch these) would be silently ignored, so
+        refuse to compile such models."""
+        d = getattr(self.model, "__dict__", {})
+        for name in ("log_psi", "log_psi_and_grads", "forward"):
+            if name in d:
+                raise TraceError(
+                    f"model instance overrides {name!r}; compilation traces "
+                    "the class implementation and would ignore the override"
+                )
+
+    def _guard_key(self, x: np.ndarray):
+        return (
+            x.shape,
+            str(x.dtype),
+            tuple(
+                (id(p), p.data.shape, str(p.data.dtype))
+                for p in self.model.parameters()
+            ),
+        )
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    # -- compilation --------------------------------------------------------------
+
+    def plan_for(self, x) -> CompiledPlan:
+        """Return a verified plan for batch ``x``, re-tracing on guard miss.
+
+        Raises :class:`TraceError` when the step cannot be compiled and
+        :class:`TapeDivergenceError` when verification fails.
+        """
+        self._check_overrides()
+        x = np.asarray(x)
+        key = self._guard_key(x)
+        if self._plan is not None and key == self._guard:
+            self.stats["cache_hits"] += 1
+            self._count("jit.cache_hit")
+            if self.verify_replay:
+                self._plan = self._verified_replay_plan(self._plan, x)
+            return self._plan
+        if self._plan is not None:
+            self.stats["guard_misses"] += 1
+            self._count("jit.guard_miss")
+        self._plan = self._compile(x)
+        self._guard = key
+        return self._plan
+
+    def per_sample_plan(self, x) -> CompiledPlan:
+        """Like :meth:`plan_for`, but additionally requires (and eagerly
+        builds) the batched per-sample O-matrix path."""
+        plan = self.plan_for(x)
+        if plan._ps_error is not None:
+            raise plan._ps_error
+        if plan._ps_steps is None:
+            # Build and verify the per-sample sweep on the traced batch.
+            lp, o = plan.per_sample(plan.tape.x)
+            self._verify_per_sample(plan, lp, o)
+        return plan
+
+    def _compile(self, x: np.ndarray) -> CompiledPlan:
+        span = (
+            self.tracer.span("jit.trace", batch=int(np.asarray(x).shape[0]))
+            if self.tracer is not None
+            else _null_ctx()
+        )
+        with span:
+            tape = trace(self._fn, x)
+            plan = CompiledPlan(tape, self.model.parameters())
+            plan.selftest()
+            self._verify_gradient(plan)
+            tape.release_refs()
+        self.stats["traces"] += 1
+        self._count("jit.trace")
+        if self.metrics is not None:
+            self.metrics.gauge("jit.arena_bytes").set(plan.arena_bytes)
+        return plan
+
+    # -- verification --------------------------------------------------------------
+
+    def _verify_gradient(self, plan: CompiledPlan) -> None:
+        """Compare the compiled adjoint sweep against an autograd backward
+        on the traced graph (then free that graph)."""
+        tape = plan.tape
+        if tape.out is None or not tape.out.requires_grad:
+            return
+        rng = np.random.default_rng(0)
+        seed = rng.standard_normal(plan.out_shape)
+        self.model.zero_grad()
+        tape.out.backward(
+            seed if seed.shape != () else None, free_graph=True
+        )
+        want = self.model.flat_grad()
+        self.model.zero_grad()
+        got = plan.gradient(seed)
+        if not np.allclose(got, want, rtol=VERIFY_RTOL, atol=VERIFY_ATOL):
+            idx = int(np.argmax(np.abs(got - want)))
+            raise TapeDivergenceError(
+                "compiled gradient diverged from autograd "
+                f"(max |Δ| = {np.max(np.abs(got - want)):.3e} at coordinate {idx})"
+            )
+
+    def _verify_per_sample(self, plan: CompiledPlan, lp, o) -> None:
+        """Check the einsum O-matrix against the scalar sweep contracted
+        with a probe vector: ``probe @ O == gradient(probe)``."""
+        rng = np.random.default_rng(1)
+        probe = rng.standard_normal(plan.out_shape)
+        contracted = probe @ o
+        direct = plan.gradient(probe)
+        if not np.allclose(contracted, direct, rtol=VERIFY_RTOL, atol=1e-10):
+            raise TapeDivergenceError(
+                "per-sample O-matrix disagrees with the scalar adjoint sweep "
+                f"(max |Δ| = {np.max(np.abs(contracted - direct)):.3e})"
+            )
+
+    def _verified_replay_plan(self, plan: CompiledPlan, x) -> CompiledPlan:
+        """``verify_replay`` mode: replay, then re-run the interpreter on
+        the same batch and localise any drift to the first divergent op."""
+        got = plan.forward(x)
+        from repro.tensor.tensor import no_grad
+
+        with no_grad():
+            want = self._fn(np.asarray(x, dtype=np.float64)).data
+        if np.allclose(got, want, rtol=VERIFY_RTOL, atol=VERIFY_ATOL):
+            return plan
+        # Drift: re-trace to find where the recorded program and the live
+        # program first disagree.
+        fresh = trace(self._fn, x)
+        old_ops = plan.tape.ops
+        for i, new_op in enumerate(fresh.ops):
+            if i >= len(old_ops):
+                break
+            old = old_ops[i]
+            if plan._vals[old.slot] is None:
+                continue  # folded into a fused node; checked via its output
+            if (old.op, old.inputs, old.shape) != (new_op.op, new_op.inputs, new_op.shape):
+                raise TapeDivergenceError(
+                    f"traced program changed: op #{i} was {old.op!r}, "
+                    f"interpreter now runs {new_op.op!r}",
+                    op_index=i, op=new_op.op, call_site=new_op.call_site,
+                )
+            if not np.allclose(plan._vals[old.slot], new_op.ref,
+                               rtol=VERIFY_RTOL, atol=VERIFY_ATOL):
+                raise TapeDivergenceError(
+                    "guarded replay drifted from the interpreter",
+                    op_index=i, op=old.op, call_site=old.call_site,
+                )
+        raise TapeDivergenceError(
+            "guarded replay drifted from the interpreter "
+            f"(op count {len(old_ops)} -> {len(fresh.ops)})",
+            op_index=min(len(old_ops), len(fresh.ops)),
+        )
+
+
+class _null_ctx:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False

@@ -1,0 +1,49 @@
+"""Exception types for the trace-and-fuse compiler."""
+
+from __future__ import annotations
+
+__all__ = ["TraceError", "TapeDivergenceError"]
+
+
+class TraceError(RuntimeError):
+    """The step could not be traced or compiled.
+
+    Raised for untraceable programs (ops without tape support, nested
+    traces, outputs that bypass the tensor engine). Callers in ``'auto'``
+    mode catch this and fall back to the interpreter.
+    """
+
+
+class TapeDivergenceError(RuntimeError):
+    """Guarded replay detected drift between the tape and the program.
+
+    The compiled plan replays a *recorded* op sequence; if the traced
+    Python code takes a different path (data-dependent branch, mutated
+    closure state), replayed values diverge from what the interpreter
+    would produce. The error pinpoints the first divergent op.
+
+    Attributes
+    ----------
+    op_index:
+        Index of the first divergent op on the tape (``None`` when the op
+        *sequence* itself changed before any value could be compared).
+    op:
+        Primitive name at that index (``"matmul"``, ``"relu"``, ...).
+    call_site:
+        ``file:line`` of the model code that recorded the op.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        op_index: int | None = None,
+        op: str | None = None,
+        call_site: str | None = None,
+    ):
+        where = ""
+        if op_index is not None:
+            where = f" (op #{op_index} {op or '?'} recorded at {call_site or '?'})"
+        super().__init__(message + where)
+        self.op_index = op_index
+        self.op = op
+        self.call_site = call_site

@@ -1,0 +1,226 @@
+"""Step tape capture: record one interpreted step's op sequence.
+
+A :class:`TapeRecorder` hooks into ``Tensor._make`` (via
+:func:`repro.tensor.set_tape_recorder`) and snapshots every primitive the
+interpreter executes — op kind, input/output shapes, dtypes and parameter
+bindings — into an immutable :class:`StepTape`. The tape is a straight-line
+program over *slots* (one per tensor the step produced or consumed); leaves
+are classified as
+
+- ``param`` — a :class:`~repro.nn.module.Parameter`; replay reads its
+  ``.data`` live each step, so in-place optimizer updates need no re-trace;
+- ``input`` — a tensor whose buffer aliases the traced batch ``x``; replay
+  rebinds these slots to the new batch;
+- ``const`` — everything else (masks, literal scalars), captured by
+  reference and assumed frozen for the lifetime of the plan.
+
+Tracing runs the *real* interpreter — the traced call returns its normal
+result, with a live autograd graph — so one extra interpreted step is the
+entire capture cost.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.jit.errors import TraceError
+from repro.tensor import functional as _functional
+from repro.tensor import tensor as _tensor_mod
+from repro.tensor.tensor import Tensor, set_tape_recorder, tape_recorder_state
+
+__all__ = ["TapeLeaf", "TapeOp", "StepTape", "TapeRecorder", "trace"]
+
+# Frames from these files are the engine itself, not the model code that
+# invoked the primitive — skipped when attributing a call site.
+_ENGINE_FILES = frozenset(
+    f.__file__ for f in (_tensor_mod, _functional) if getattr(f, "__file__", None)
+)
+
+
+def _call_site() -> str:
+    frame = sys._getframe(2)
+    while frame is not None and frame.f_code.co_filename in _ENGINE_FILES:
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+class TapeLeaf:
+    """A graph leaf consumed by the traced step."""
+
+    __slots__ = ("slot", "kind", "param", "array", "shape", "dtype", "requires_grad")
+
+    def __init__(self, slot, kind, *, param=None, array=None, shape=None,
+                 dtype=None, requires_grad=False):
+        self.slot = slot
+        self.kind = kind  # 'param' | 'input' | 'const'
+        self.param = param
+        self.array = array
+        self.shape = shape
+        self.dtype = dtype
+        self.requires_grad = requires_grad
+
+    def __repr__(self) -> str:
+        return f"TapeLeaf(slot={self.slot}, kind={self.kind!r}, shape={self.shape})"
+
+
+class TapeOp:
+    """One recorded primitive: ``slot = op(*inputs, **attrs)``."""
+
+    __slots__ = ("index", "op", "attrs", "inputs", "slot", "shape", "dtype",
+                 "requires_grad", "call_site", "ref")
+
+    def __init__(self, index, op, attrs, inputs, slot, shape, dtype,
+                 requires_grad, call_site, ref):
+        self.index = index
+        self.op = op
+        self.attrs = attrs
+        self.inputs = inputs  # tuple of slot ids
+        self.slot = slot
+        self.shape = shape
+        self.dtype = dtype
+        self.requires_grad = requires_grad
+        self.call_site = call_site
+        #: the interpreter's output array for this op on the traced batch;
+        #: kept until the plan's build-time self-test passes, then dropped.
+        self.ref = ref
+
+    def __repr__(self) -> str:
+        return (
+            f"TapeOp(#{self.index} {self.op} {tuple(self.inputs)} -> "
+            f"slot {self.slot} {self.shape})"
+        )
+
+
+class StepTape:
+    """Immutable straight-line record of one interpreted step."""
+
+    __slots__ = ("ops", "leaves", "n_slots", "out_slot", "x", "out",
+                 "input_shape", "input_dtype")
+
+    def __init__(self, ops, leaves, n_slots, out_slot, x, out):
+        self.ops = tuple(ops)
+        self.leaves = tuple(leaves)
+        self.n_slots = n_slots
+        self.out_slot = out_slot
+        self.x = x  # the traced batch (reference kept for the self-test)
+        self.out = out  # traced output Tensor (live graph, for verification)
+        self.input_shape = x.shape
+        self.input_dtype = x.dtype
+
+    @property
+    def params(self):
+        return [l.param for l in self.leaves if l.kind == "param"]
+
+    def release_refs(self) -> None:
+        """Drop traced activation arrays and the traced graph (after verification)."""
+        for op in self.ops:
+            op.ref = None
+        self.out = None
+
+    def __repr__(self) -> str:
+        kinds = [l.kind for l in self.leaves]
+        return (
+            f"StepTape({len(self.ops)} ops, {kinds.count('param')} params, "
+            f"{kinds.count('const')} consts, input {self.input_shape})"
+        )
+
+
+class TapeRecorder:
+    """Observes ``Tensor._make`` and appends ops to an in-progress tape."""
+
+    def __init__(self, x: np.ndarray):
+        self.x = x
+        self.ops: list[TapeOp] = []
+        self.leaves: list[TapeLeaf] = []
+        self.n_slots = 0
+        self._slot_of = {}  # id(tensor) -> slot
+        # Pin every observed tensor: intermediate outputs must stay alive so
+        # CPython cannot recycle an id() the slot table still references.
+        self._pin: list[Tensor] = []
+
+    def _new_slot(self) -> int:
+        slot = self.n_slots
+        self.n_slots += 1
+        return slot
+
+    def _leaf(self, t: Tensor) -> int:
+        from repro.nn.module import Parameter
+
+        slot = self._new_slot()
+        if isinstance(t, Parameter):
+            leaf = TapeLeaf(slot, "param", param=t, shape=t.data.shape,
+                            dtype=t.data.dtype, requires_grad=True)
+        elif (
+            t.data.shape == self.x.shape
+            and t.data.dtype == self.x.dtype
+            and np.shares_memory(t.data, self.x)
+        ):
+            # The whole-batch alias (e.g. ``F.as_tensor(x)`` or the targets
+            # of ``bernoulli_log_prob``): replay rebinds it to the new batch.
+            leaf = TapeLeaf(slot, "input", shape=t.data.shape,
+                            dtype=t.data.dtype, requires_grad=t.requires_grad)
+        else:
+            leaf = TapeLeaf(slot, "const", array=t.data, shape=t.data.shape,
+                            dtype=t.data.dtype, requires_grad=t.requires_grad)
+        self.leaves.append(leaf)
+        return slot
+
+    def on_op(self, out: Tensor, parents, op: str, attrs, recorded: bool) -> None:
+        if not op:
+            raise TraceError(
+                f"primitive without tape metadata encountered at {_call_site()}; "
+                "ops must pass their name to Tensor._make to be traceable"
+            )
+        inputs = []
+        for p in parents:
+            slot = self._slot_of.get(id(p))
+            if slot is None:
+                slot = self._leaf(p)
+                self._slot_of[id(p)] = slot
+                self._pin.append(p)
+            inputs.append(slot)
+        slot = self._new_slot()
+        self._slot_of[id(out)] = slot
+        self._pin.append(out)
+        self.ops.append(
+            TapeOp(len(self.ops), op, dict(attrs or {}), tuple(inputs), slot,
+                   out.data.shape, out.data.dtype, recorded, _call_site(),
+                   out.data)
+        )
+
+    def slot_of(self, t: Tensor) -> int | None:
+        return self._slot_of.get(id(t))
+
+
+def trace(fn, x: np.ndarray) -> StepTape:
+    """Run ``fn(x)`` under a recorder and return the captured tape.
+
+    ``fn`` must consume the batch through the tensor engine and return a
+    :class:`Tensor` produced by a traced op. The traced call runs the real
+    interpreter, so ``tape.out`` carries a live autograd graph the compiler
+    uses to verify the compiled backward.
+    """
+    x = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+    if tape_recorder_state() is not None:
+        raise TraceError("nested tracing is not supported")
+    rec = TapeRecorder(x)
+    set_tape_recorder(rec)
+    try:
+        out = fn(x)
+    finally:
+        set_tape_recorder(None)
+    if not isinstance(out, Tensor):
+        raise TraceError(f"traced function returned {type(out).__name__}, not a Tensor")
+    out_slot = rec.slot_of(out)
+    if out_slot is None:
+        raise TraceError(
+            "traced function returned a tensor that no traced op produced "
+            "(constructed outside the engine, or under no_grad)"
+        )
+    if not rec.ops:
+        raise TraceError("traced function executed no tensor ops")
+    return StepTape(rec.ops, rec.leaves, rec.n_slots, out_slot, x, out)

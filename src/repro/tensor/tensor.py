@@ -28,6 +28,8 @@ __all__ = [
     "NonFiniteError",
     "graph_sanitizer_state",
     "set_graph_sanitizer",
+    "tape_recorder_state",
+    "set_tape_recorder",
 ]
 
 # Thread-local: the thread-backed distributed runtime runs one rank per
@@ -71,6 +73,26 @@ def graph_sanitizer_state():
 def set_graph_sanitizer(state) -> None:
     """Install (or clear, with None) the thread's sanitizer state."""
     _SANITIZER.state = state
+
+
+# The active tape recorder, per thread. The trace-and-fuse compiler
+# (:mod:`repro.jit`) installs a recorder for ONE interpreted step; the
+# engine duck-calls ``state.on_op(out, parents, op, attrs, recorded)`` for
+# every node built by :meth:`Tensor._make`, which is exactly the
+# information needed to snapshot the step's op sequence into a
+# :class:`repro.jit.StepTape`. Like the sanitizer, the state object lives
+# outside the engine so ``repro.tensor`` stays import-free.
+_RECORDER = threading.local()
+
+
+def tape_recorder_state():
+    """The thread's active tape recorder, or None."""
+    return getattr(_RECORDER, "state", None)
+
+
+def set_tape_recorder(state) -> None:
+    """Install (or clear, with None) the thread's tape recorder."""
+    _RECORDER.state = state
 
 
 @contextlib.contextmanager
@@ -131,6 +153,9 @@ class Tensor:
         "name",
         "_version",
         "_sanitize",
+        # Weakref support: lifetime tests (and leak detectors) observe graph
+        # release after ``backward(free_graph=True)`` without pinning nodes.
+        "__weakref__",
     )
 
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
@@ -170,8 +195,17 @@ class Tensor:
         data: np.ndarray,
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
+        op: str = "",
+        attrs: dict | None = None,
     ) -> "Tensor":
-        """Build an op output node; record graph only if grad is enabled."""
+        """Build an op output node; record graph only if grad is enabled.
+
+        ``op`` names the primitive (``"add"``, ``"matmul"``, ...) and
+        ``attrs`` carries its non-tensor arguments (axes, exponents, index
+        objects). Both are only observed by an installed tape recorder
+        (:func:`set_tape_recorder`) — the interpreted path never reads
+        them, so the metadata costs nothing when no trace is running.
+        """
         needs = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=needs)
         if needs:
@@ -185,6 +219,9 @@ class Tensor:
         state = graph_sanitizer_state()
         if state is not None:
             state.on_node(out, parents, recorded=needs)
+        recorder = tape_recorder_state()
+        if recorder is not None:
+            recorder.on_op(out, parents, op, attrs, recorded=needs)
         return out
 
     def _accum(self, grad: np.ndarray) -> None:
@@ -236,14 +273,35 @@ class Tensor:
 
     # -- backward pass ---------------------------------------------------------
 
-    def backward(self, grad: np.ndarray | None = None) -> None:
+    def backward(
+        self, grad: np.ndarray | None = None, free_graph: bool = False
+    ) -> None:
         """Backpropagate from this tensor.
 
-        ``grad`` defaults to ones (i.e. sum of all elements for non-scalar
-        outputs; for scalars this is the usual dL/dL = 1 seed).
+        ``grad`` is the seed gradient. For scalar outputs (``size == 1``)
+        it defaults to ones — the usual dL/dL = 1. For non-scalar outputs
+        an explicit seed is REQUIRED: the old implicit-ones default
+        silently differentiated ``out.sum()`` instead of ``out``, which
+        reads like a bug at every call site that relied on it. Pass
+        ``np.ones_like(t.data)`` to get the summed behaviour on purpose.
+
+        ``free_graph=True`` drops every visited node's ``_parents`` and
+        ``_backward`` closure after the sweep, so the graph — and every
+        intermediate activation those closures pin — becomes collectible
+        immediately instead of surviving until the next step rebuilds it.
+        The freed graph cannot be backpropagated again; leaf ``.grad``
+        buffers are untouched. :meth:`repro.core.vqmc.VQMC.step` passes it
+        by default.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None and self.data.size != 1:
+            raise RuntimeError(
+                f"backward() on a non-scalar (shape {self.data.shape}) requires "
+                "an explicit seed gradient; the implicit all-ones seed summed "
+                "the output silently — pass grad=np.ones_like(t.data) if that "
+                "is what you mean, or reduce the output first"
+            )
         topo: list[Tensor] = []
         seen: set[int] = set()
         stack: list[tuple[Tensor, bool]] = [(self, False)]
@@ -272,6 +330,11 @@ class Tensor:
                 if state is not None:
                     state.verify(node)
                 node._backward()
+        if free_graph:
+            for node in topo:
+                if node._parents or node._backward is not None:
+                    node._parents = ()
+                    node._backward = None
 
     # -- arithmetic -------------------------------------------------------------
 
@@ -286,7 +349,7 @@ class Tensor:
             self._accum(_unbroadcast(g, self.shape))
             other._accum(_unbroadcast(g, other.shape))
 
-        return Tensor._make(out_data, (self, other), bw)
+        return Tensor._make(out_data, (self, other), bw, "add")
 
     __radd__ = __add__
 
@@ -298,7 +361,7 @@ class Tensor:
             self._accum(_unbroadcast(g * other.data, self.shape))
             other._accum(_unbroadcast(g * self.data, other.shape))
 
-        return Tensor._make(out_data, (self, other), bw)
+        return Tensor._make(out_data, (self, other), bw, "mul")
 
     __rmul__ = __mul__
 
@@ -306,7 +369,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(-g)
 
-        return Tensor._make(-self.data, (self,), bw)
+        return Tensor._make(-self.data, (self,), bw, "neg")
 
     def __sub__(self, other) -> "Tensor":
         return self + (-self._coerce(other))
@@ -324,7 +387,7 @@ class Tensor:
                 _unbroadcast(-g * self.data / (other.data**2), other.shape)
             )
 
-        return Tensor._make(out_data, (self, other), bw)
+        return Tensor._make(out_data, (self, other), bw, "truediv")
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._coerce(other) / self
@@ -337,7 +400,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "pow", {"exponent": exponent})
 
     def __matmul__(self, other) -> "Tensor":
         other = self._coerce(other)
@@ -354,7 +417,7 @@ class Tensor:
             self._accum(_unbroadcast(ga, self.shape))
             other._accum(_unbroadcast(gb, other.shape))
 
-        return Tensor._make(out_data, (self, other), bw)
+        return Tensor._make(out_data, (self, other), bw, "matmul")
 
     # -- elementwise nonlinearities ------------------------------------------------
 
@@ -364,7 +427,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g * out_data)
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "exp")
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
@@ -372,7 +435,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g / self.data)
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "log")
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
@@ -380,7 +443,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g * 0.5 / out_data)
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "sqrt")
 
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
@@ -388,7 +451,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g * np.sign(self.data))
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "abs")
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -396,7 +459,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g * (1.0 - out_data**2))
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "tanh")
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
@@ -405,7 +468,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g * mask)
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "relu")
 
     def sigmoid(self) -> "Tensor":
         # Numerically stable split over sign.
@@ -419,7 +482,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "sigmoid")
 
     def log_sigmoid(self) -> "Tensor":
         """Stable ``log(sigmoid(x)) = -softplus(-x) = min(x,0) - log1p(exp(-|x|))``."""
@@ -434,7 +497,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g * (1.0 - sig))
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "log_sigmoid")
 
     def softplus(self) -> "Tensor":
         """Stable ``log(1 + exp(x)) = max(x,0) + log1p(exp(-|x|))``."""
@@ -449,7 +512,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g * sig)
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "softplus")
 
     def log_cosh(self) -> "Tensor":
         """Stable ``log(cosh(x)) = |x| + log1p(exp(-2|x|)) - log 2``.
@@ -464,7 +527,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g * th)
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "log_cosh")
 
     def log1p(self) -> "Tensor":
         out_data = np.log1p(self.data)
@@ -472,7 +535,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g / (1.0 + self.data))
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "log1p")
 
     def expm1(self) -> "Tensor":
         out_data = np.expm1(self.data)
@@ -480,7 +543,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g * (out_data + 1.0))
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "expm1")
 
     def sin(self) -> "Tensor":
         out_data = np.sin(self.data)
@@ -488,7 +551,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g * np.cos(self.data))
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "sin")
 
     def cos(self) -> "Tensor":
         out_data = np.cos(self.data)
@@ -496,7 +559,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(-g * np.sin(self.data))
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "cos")
 
     def clip(self, low: float | None = None, high: float | None = None) -> "Tensor":
         """Clamp values; gradient is passed through only inside the bounds
@@ -511,7 +574,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g * inside)
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "clip", {"low": low, "high": high})
 
     def logsumexp(self, axis: int = -1, keepdims: bool = False) -> "Tensor":
         """Numerically stable ``log Σ exp`` along an axis."""
@@ -526,7 +589,9 @@ class Tensor:
             gg = g if keepdims else np.expand_dims(g, axis)
             self._accum(gg * soft)
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(
+            out_data, (self,), bw, "logsumexp", {"axis": axis, "keepdims": keepdims}
+        )
 
     def softmax(self, axis: int = -1) -> "Tensor":
         m = self.data.max(axis=axis, keepdims=True)
@@ -537,7 +602,7 @@ class Tensor:
             inner = (g * out_data).sum(axis=axis, keepdims=True)
             self._accum(out_data * (g - inner))
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "softmax", {"axis": axis})
 
     # -- reductions ------------------------------------------------------------------
 
@@ -550,7 +615,9 @@ class Tensor:
                 gg = np.expand_dims(gg, axis)
             self._accum(np.broadcast_to(gg, self.shape).copy())
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(
+            out_data, (self,), bw, "sum", {"axis": axis, "keepdims": keepdims}
+        )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -575,7 +642,9 @@ class Tensor:
             share = mask / mask.sum(axis=axis, keepdims=True)
             self._accum(np.broadcast_to(gg, self.shape) * share)
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(
+            out_data, (self,), bw, "max", {"axis": axis, "keepdims": keepdims}
+        )
 
     # -- shape manipulation --------------------------------------------------------------
 
@@ -588,7 +657,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g.reshape(orig))
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "reshape", {"shape": shape})
 
     def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
         out_data = self.data.transpose(axes)
@@ -600,7 +669,7 @@ class Tensor:
         def bw(g: np.ndarray) -> None:
             self._accum(g.transpose(inv))
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "transpose", {"axes": axes})
 
     def __getitem__(self, idx) -> "Tensor":
         out_data = self.data[idx]
@@ -610,7 +679,7 @@ class Tensor:
             np.add.at(buf, idx, g)
             self._accum(buf)
 
-        return Tensor._make(out_data, (self,), bw)
+        return Tensor._make(out_data, (self,), bw, "getitem", {"idx": idx})
 
 
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
@@ -626,7 +695,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             sl[axis] = slice(lo, hi)
             t._accum(g[tuple(sl)])
 
-    return Tensor._make(out_data, ts, bw)
+    return Tensor._make(out_data, ts, bw, "concatenate", {"axis": axis})
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
@@ -638,7 +707,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
         for i, t in enumerate(ts):
             t._accum(np.take(g, i, axis=axis))
 
-    return Tensor._make(out_data, ts, bw)
+    return Tensor._make(out_data, ts, bw, "stack", {"axis": axis})
 
 
 def minimum(a: Tensor, b: Tensor) -> Tensor:
@@ -653,7 +722,7 @@ def minimum(a: Tensor, b: Tensor) -> Tensor:
         a._accum(_unbroadcast(ga, a.shape))
         b._accum(_unbroadcast(gb, b.shape))
 
-    return Tensor._make(out_data, (a, b), bw)
+    return Tensor._make(out_data, (a, b), bw, "minimum")
 
 
 def maximum(a: Tensor, b: Tensor) -> Tensor:
@@ -668,7 +737,7 @@ def maximum(a: Tensor, b: Tensor) -> Tensor:
         a._accum(_unbroadcast(ga, a.shape))
         b._accum(_unbroadcast(gb, b.shape))
 
-    return Tensor._make(out_data, (a, b), bw)
+    return Tensor._make(out_data, (a, b), bw, "maximum")
 
 
 def where(cond: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -680,4 +749,4 @@ def where(cond: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         a._accum(_unbroadcast(np.where(cond, g, 0.0), a.shape))
         b._accum(_unbroadcast(np.where(cond, 0.0, g), b.shape))
 
-    return Tensor._make(out_data, (a, b), bw)
+    return Tensor._make(out_data, (a, b), bw, "where", {"cond": cond})

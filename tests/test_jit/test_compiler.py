@@ -1,0 +1,153 @@
+"""Guard semantics: cache hits, guard misses, overrides, replay divergence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.jit import StepCompiler, TapeDivergenceError, TraceError
+from repro.models import MADE
+from repro.nn import Module, Parameter
+from repro.obs import Metrics
+from repro.tensor import Tensor, no_grad
+
+
+def _batch(n: int, b: int, seed: int = 1) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=(b, n)).astype(np.float64)
+
+
+def _made(n: int = 6) -> MADE:
+    return MADE(n, hidden=8, rng=np.random.default_rng(0))
+
+
+class TestGuards:
+    def test_same_batch_shape_is_cache_hit(self):
+        model = _made()
+        compiler = StepCompiler(model)
+        plan1 = compiler.plan_for(_batch(6, 4, seed=1))
+        plan2 = compiler.plan_for(_batch(6, 4, seed=2))
+        assert plan1 is plan2
+        assert compiler.stats == {"traces": 1, "cache_hits": 1, "guard_misses": 0}
+
+    def test_batch_shape_change_retraces(self):
+        model = _made()
+        compiler = StepCompiler(model)
+        plan1 = compiler.plan_for(_batch(6, 4))
+        plan2 = compiler.plan_for(_batch(6, 8))
+        assert plan1 is not plan2
+        assert compiler.stats["guard_misses"] == 1
+        assert compiler.stats["traces"] == 2
+        # The re-traced plan is correct for the new shape.
+        x = _batch(6, 8, seed=7)
+        with no_grad():
+            want = model.log_psi(x).data
+        np.testing.assert_allclose(plan2.forward(x), want, rtol=1e-9, atol=1e-10)
+
+    def test_dtype_change_retraces_and_matches_float_result(self):
+        model = _made()
+        compiler = StepCompiler(model)
+        xf = _batch(6, 4)
+        plan_f = compiler.plan_for(xf)
+        want = plan_f.forward(xf)
+        xi = xf.astype(np.int64)
+        plan_i = compiler.plan_for(xi)
+        assert compiler.stats["guard_misses"] == 1
+        # Tracing normalises to float64, so the numbers agree exactly.
+        np.testing.assert_allclose(plan_i.forward(xi), want, rtol=0, atol=0)
+
+    def test_parameter_replacement_is_guard_miss(self):
+        model = _made()
+        compiler = StepCompiler(model)
+        x = _batch(6, 4)
+        compiler.plan_for(x)
+        layer = model.fc_layers[0]
+        layer.weight = Parameter(layer.weight.data.copy())
+        plan = compiler.plan_for(x)
+        assert compiler.stats["guard_misses"] == 1
+        with no_grad():
+            want = model.log_psi(x).data
+        np.testing.assert_allclose(plan.forward(x), want, rtol=1e-9, atol=1e-10)
+
+    def test_inplace_param_update_stays_cached_and_tracks_values(self):
+        model = _made()
+        compiler = StepCompiler(model)
+        x = _batch(6, 4)
+        plan = compiler.plan_for(x)
+        rng = np.random.default_rng(5)
+        for p in model.parameters():
+            p.data += 0.1 * rng.standard_normal(p.data.shape)
+            p.bump_version()
+        assert compiler.plan_for(x) is plan  # values are not in the guard key
+        assert compiler.stats["cache_hits"] == 1
+        with no_grad():
+            want = model.log_psi(x).data
+        np.testing.assert_allclose(plan.forward(x), want, rtol=1e-9, atol=1e-10)
+
+    def test_metrics_counters_and_arena_gauge(self):
+        model = _made()
+        metrics = Metrics()
+        compiler = StepCompiler(model, metrics=metrics)
+        compiler.plan_for(_batch(6, 4))
+        compiler.plan_for(_batch(6, 4))
+        compiler.plan_for(_batch(6, 8))
+        snap = metrics.snapshot()
+        assert snap["counters"]["jit.trace"] == 2
+        assert snap["counters"]["jit.cache_hit"] == 1
+        assert snap["counters"]["jit.guard_miss"] == 1
+        assert snap["gauges"]["jit.arena_bytes"] > 0
+
+
+class TestOverrides:
+    def test_instance_override_refused(self):
+        model = _made()
+        model.log_psi_and_grads = lambda x: (None, None)  # ablation monkeypatch
+        with pytest.raises(TraceError, match="overrides 'log_psi_and_grads'"):
+            StepCompiler(model).plan_for(_batch(6, 4))
+
+    def test_override_refused_even_on_cached_plan(self):
+        model = _made()
+        compiler = StepCompiler(model)
+        x = _batch(6, 4)
+        compiler.plan_for(x)
+        model.log_psi = model.log_psi  # binds into the instance dict
+        with pytest.raises(TraceError, match="overrides 'log_psi'"):
+            compiler.plan_for(x)
+
+
+class _Branchy(Module):
+    """Data-dependent control flow: the canonical tape-unsafe model."""
+
+    def __init__(self, n: int):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.w = Parameter(0.1 * rng.standard_normal((n, 1)))
+
+    def log_psi(self, x):
+        h = Tensor(x) @ self.w  # (B, 1)
+        if float(x[0, 0]) > 0.5:
+            h = h * 2.0
+        return h.sum(axis=1)
+
+
+class TestReplayVerification:
+    def test_divergence_reports_op_index_and_call_site(self):
+        model = _Branchy(4)
+        compiler = StepCompiler(model, verify_replay=True)
+        x_hot = np.ones((3, 4))
+        compiler.plan_for(x_hot)  # traces the `* 2.0` branch
+        x_cold = np.ones((3, 4))
+        x_cold[0, 0] = 0.0  # interpreter skips the branch; the replay cannot
+        with pytest.raises(TapeDivergenceError) as excinfo:
+            compiler.plan_for(x_cold)  # same guard key, different branch
+        err = excinfo.value
+        assert err.op_index is not None
+        assert "op #" in str(err)
+
+    def test_verify_replay_passes_for_straight_line_models(self):
+        model = _made()
+        compiler = StepCompiler(model, verify_replay=True)
+        for seed in (1, 2, 3):
+            plan = compiler.plan_for(_batch(6, 4, seed=seed))
+            plan.forward(_batch(6, 4, seed=seed))
+        assert compiler.stats["traces"] == 1

@@ -1,0 +1,87 @@
+"""``backward(free_graph=...)`` lifetime semantics and the explicit-seed rule."""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.models import MADE
+from repro.tensor import Tensor
+
+
+def _chain():
+    x = Tensor(np.ones(3), requires_grad=True)
+    mid = x * 2.0
+    out = (mid * mid).sum()
+    return x, mid, out
+
+
+class TestFreeGraph:
+    def test_free_graph_makes_intermediates_collectible(self):
+        x, mid, out = _chain()
+        ref = weakref.ref(mid)
+        out.backward(free_graph=True)
+        np.testing.assert_allclose(x.grad, 8.0 * np.ones(3))
+        del mid
+        gc.collect()
+        # `out` is still alive, but its parents/closures were dropped, so
+        # nothing pins the intermediate any more.
+        assert ref() is None
+        assert out.data is not None  # the value itself survives
+
+    def test_default_backward_keeps_graph_alive(self):
+        x, mid, out = _chain()
+        ref = weakref.ref(mid)
+        out.backward()
+        del mid
+        gc.collect()
+        assert ref() is not None  # out._parents still pins the chain
+
+    def test_freed_graph_leaf_grads_survive(self):
+        x, mid, out = _chain()
+        out.backward(free_graph=True)
+        grad = x.grad.copy()
+        del mid, out
+        gc.collect()
+        np.testing.assert_allclose(x.grad, grad)
+
+    def test_vqmc_step_pattern_releases_model_graph(self):
+        # The regression the default guards against: VQMC.step builds a
+        # fresh graph per step; without free_graph every intermediate
+        # activation survived until the *next* step rebuilt the graph.
+        model = MADE(6, hidden=8, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).integers(0, 2, size=(16, 6)).astype(float)
+        log_psi = model.log_psi(x)
+        refs = [weakref.ref(p) for p in log_psi._parents]
+        weights = np.random.default_rng(2).standard_normal(16)
+        (log_psi * weights).sum().backward(free_graph=True)
+        del weights
+        gc.collect()
+        assert all(r() is None for r in refs)
+
+
+class TestExplicitSeedRule:
+    def test_non_scalar_backward_requires_seed(self):
+        y = Tensor(np.ones(4), requires_grad=True) * 3.0
+        with pytest.raises(RuntimeError, match="explicit seed"):
+            y.backward()
+
+    def test_non_scalar_backward_with_seed_works(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        y = x * 3.0
+        y.backward(np.array([1.0, 0.0, 2.0, 0.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 0.0, 6.0, 0.0])
+
+    def test_scalar_backward_keeps_implicit_seed(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, 3.0 * np.ones(4))
+
+    def test_size_one_output_allows_implicit_seed(self):
+        x = Tensor(np.ones((1, 1)), requires_grad=True)
+        y = x * 2.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, 2.0 * np.ones((1, 1)))

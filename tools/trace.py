@@ -65,6 +65,25 @@ def _load_spans(paths: list[pathlib.Path]) -> list[dict]:
     return spans
 
 
+def _span_name(ev: dict) -> str:
+    """Summary row for a span; compiled-step replay spans are attributed to
+    the interpreted phase they replace.
+
+    ``VQMC.step(compile=...)`` nests ``jit.replay`` spans (with a ``phase``
+    argument naming the interpreted-phase equivalent) inside the usual phase
+    spans, so a compiled run's ``gradient`` total already *contains* the
+    replay time. Qualifying the row as ``<phase>/jit.replay`` keeps the
+    phase tables of compiled and interpreted runs directly comparable while
+    still exposing how much of the phase ran compiled.
+    """
+    name = ev["name"]
+    if name in ("jit.replay", "jit.trace"):
+        phase = ev.get("args", {}).get("phase")
+        if phase:
+            return f"{phase}/{name}"
+    return name
+
+
 def _totals(spans: list[dict]) -> tuple[dict[str, dict[int, float]], list[int]]:
     """``{name: {rank: total_ms}}`` plus the sorted rank list."""
     table: dict[str, dict[int, float]] = {}
@@ -72,7 +91,7 @@ def _totals(spans: list[dict]) -> tuple[dict[str, dict[int, float]], list[int]]:
     for ev in spans:
         rank = int(ev.get("pid", 0))
         ranks.add(rank)
-        per_rank = table.setdefault(ev["name"], {})
+        per_rank = table.setdefault(_span_name(ev), {})
         per_rank[rank] = per_rank.get(rank, 0.0) + ev.get("dur", 0.0) / 1e3
     return table, sorted(ranks)
 
@@ -93,7 +112,8 @@ def cmd_summary(args: argparse.Namespace) -> int:
     stragglers: list[str] = []
     counts: dict[str, int] = {}
     for ev in spans:
-        counts[ev["name"]] = counts.get(ev["name"], 0) + 1
+        name = _span_name(ev)
+        counts[name] = counts.get(name, 0) + 1
     for name in sorted(table):
         info = skew[name]
         flag = ""
