@@ -83,6 +83,88 @@ class RankDependentCollective(Rule):
             )
 
 
+def _mentions_epoch(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "epoch" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "epoch" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.keyword) and sub.arg and "epoch" in sub.arg.lower():
+            return True
+    return False
+
+
+def _payload_carries_epoch(call: ast.Call, scope: ast.AST) -> bool:
+    """Does a ``send_ctrl`` call's payload mention an epoch?
+
+    Either directly in the argument expressions, or — when the payload is a
+    bare name — in any assignment to that name within the enclosing scope
+    (the idiom: ``heartbeat = np.array([HB, float(epoch), ...])`` then
+    ``comm.send_ctrl(peer, heartbeat)``).
+    """
+    args = list(call.args) + [kw.value for kw in call.keywords]
+    if any(_mentions_epoch(arg) for arg in args):
+        return True
+    names = {arg.id for arg in args if isinstance(arg, ast.Name)}
+    if not names:
+        return False
+    for sub in ast.walk(scope):
+        if isinstance(sub, ast.Assign):
+            targets = [
+                t.id for t in sub.targets if isinstance(t, ast.Name)
+            ]
+            if set(targets) & names and _mentions_epoch(sub.value):
+                return True
+        elif isinstance(sub, ast.AnnAssign):
+            if (
+                isinstance(sub.target, ast.Name)
+                and sub.target.id in names
+                and sub.value is not None
+                and _mentions_epoch(sub.value)
+            ):
+                return True
+    return False
+
+
+@register
+class CtrlFrameWithoutEpoch(Rule):
+    id = "dist-epoch-tag"
+    category = "distributed"
+    description = (
+        "control-frame send without an epoch tag; an untagged frame cannot "
+        "be discarded as stale by a later detection/join round, which is "
+        "exactly the stale-membership bug class the elastic epoch exists to "
+        "kill — put the epoch in the payload (or in the expression that "
+        "builds it)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        # Map each send_ctrl call to its innermost enclosing function so
+        # bare-name payloads can be resolved against local assignments.
+        scopes: list[ast.AST] = [ctx.tree]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        seen: set[int] = set()
+        for scope in reversed(scopes):  # inner functions before the module
+            for node in ast.walk(scope):
+                if id(node) in seen or not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (isinstance(func, ast.Attribute) and func.attr == "send_ctrl"):
+                    continue
+                seen.add(id(node))
+                if _payload_carries_epoch(node, scope):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    ".send_ctrl() payload carries no epoch tag; receivers "
+                    "cannot tell this frame from a stale round's — build "
+                    "the payload from the current epoch",
+                )
+
+
 @register
 class RecvWithoutTimeout(Rule):
     id = "dist-recv-timeout"

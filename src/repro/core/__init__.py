@@ -22,6 +22,7 @@ from repro.core.checkpoint import (
     CheckpointCallback,
     CheckpointCorruptError,
     load_checkpoint,
+    restore_elastic,
     save_checkpoint,
     verify_checkpoint,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "verify_checkpoint",
+    "restore_elastic",
     "GradientNoise",
     "gradient_noise",
 ]

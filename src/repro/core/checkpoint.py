@@ -41,6 +41,7 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "verify_checkpoint",
+    "restore_elastic",
     "CheckpointCallback",
     "CheckpointCorruptError",
 ]
@@ -164,6 +165,91 @@ def load_checkpoint(vqmc: VQMC, path: str | Path) -> None:
         vqmc.optimizer.load_state_dict(header["optimizer_state"])
         vqmc.rng.bit_generator.state = header["rng_state"]
         vqmc.global_step = header["global_step"]
+
+
+_RANKED = re.compile(r"^checkpoint_(\d{8})\.rank(\d{3})\.npz$")
+
+
+def restore_elastic(
+    vqmc: VQMC,
+    directory: str | Path,
+    *,
+    rank: int,
+    world_size: int,
+    at_step: int | None = None,
+    seed: int = 0,
+) -> dict:
+    """Restore rank ``rank`` of a ``world_size`` world from a checkpoint
+    directory possibly written at a *different* world size.
+
+    The elastic restart story: a run checkpointed at world=4 must come back
+    at world=2 (survivors) or world=6 (grown). Per-rank files are
+    rank-suffixed, so:
+
+    - A rank whose own file exists restores it verbatim — parameters,
+      optimizer moments, RNG stream, step — making the unchanged-world (and
+      shrink-to-prefix) case *bit-exact*.
+    - A new rank (no file of its own) borrows the full state of donor rank
+      ``rank % n_available`` — parameters and optimizer moments are
+      identical on every rank of a lock-step run, so any donor is correct —
+      but must NOT inherit the donor's RNG stream (two ranks sampling the
+      same stream would correlate the global batch): it derives a fresh
+      deterministic stream from ``(seed, step, rank)``.
+
+    Returns ``{"step", "source_rank", "exact", "path"}``; raises
+    :class:`CheckpointCorruptError` if the directory holds no verifiable
+    rank-suffixed checkpoint (at ``at_step``, if given).
+    """
+    if not 0 <= rank < world_size:
+        raise ValueError(f"rank {rank} out of range for world size {world_size}")
+    directory = Path(directory)
+    by_step: dict[int, dict[int, Path]] = {}
+    if directory.is_dir():
+        for path in directory.iterdir():
+            match = _RANKED.match(path.name)
+            if match:
+                by_step.setdefault(int(match.group(1)), {})[
+                    int(match.group(2))
+                ] = path
+    steps = (
+        sorted(by_step, reverse=True)
+        if at_step is None
+        else ([at_step] if at_step in by_step else [])
+    )
+    for step in steps:
+        sources = by_step[step]
+        donors = sorted(sources)
+        own = sources.get(rank)
+        candidates = [own] if own is not None else []
+        # Donor order: start at rank % n for an even spread of borrowers
+        # over donors, then rotate — so a corrupt first choice degrades to
+        # the next donor instead of failing the restore.
+        for i in range(len(donors)):
+            path = sources[donors[(rank + i) % len(donors)]]
+            if path != own:
+                candidates.append(path)
+        for path in candidates:
+            exact = path == own
+            try:
+                load_checkpoint(vqmc, path)
+            except CheckpointCorruptError:
+                continue
+            if not exact:
+                # vqmc.rng now holds the donor's stream — replace it (see above)
+                vqmc.rng = np.random.default_rng(
+                    np.random.SeedSequence([seed, vqmc.global_step, rank])
+                )
+            return {
+                "step": step,
+                "source_rank": int(_RANKED.match(path.name).group(2)),
+                "exact": exact,
+                "path": path,
+            }
+    raise CheckpointCorruptError(
+        directory,
+        f"no verifiable rank-suffixed checkpoint for rank {rank} "
+        f"(world {world_size}, at_step={at_step})",
+    )
 
 
 class CheckpointCallback:

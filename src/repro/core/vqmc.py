@@ -95,6 +95,10 @@ class StepResult:
     step_time: float
     acceptance: float
     vqmc: "VQMC" = field(repr=False, default=None)
+    #: this step's wall seconds per phase (``sample`` / ``energy`` /
+    #: ``gradient`` / ``update``) — *local* to this rank, unlike ``stats``.
+    #: The elastic supervisor's straggler rebalancing feeds on it.
+    phase_seconds: dict = field(repr=False, default_factory=dict)
 
 
 class VQMC:
@@ -262,6 +266,10 @@ class VQMC:
         cmode = compile if compile is not None else self.config.compile
         if cmode not in ("auto", "on", "off"):
             raise ValueError(f"unknown compile mode {cmode!r}")
+        clock_before = {
+            k: self.clock.totals.get(k, 0.0)
+            for k in ("sample", "energy", "gradient", "update")
+        }
         tracer = self.tracer
         with tracer.span("step", step=self.global_step, batch=bsz):
             with tracer.span("sample", batch=bsz), self.clock.measure("sample"):
@@ -350,6 +358,10 @@ class VQMC:
             step_time=time.perf_counter() - t0,
             acceptance=acceptance,
             vqmc=self,
+            phase_seconds={
+                k: self.clock.totals.get(k, 0.0) - v
+                for k, v in clock_before.items()
+            },
         )
         return result
 

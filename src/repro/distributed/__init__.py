@@ -43,8 +43,28 @@ from repro.distributed.faults import (
     MismatchedCollectiveInjector,
 )
 from repro.distributed.resilient import ResilientCommunicator, RetryPolicy
-from repro.distributed.elastic import ElasticConfig, detect_survivors, shrink_world
+from repro.distributed.elastic import (
+    ElasticConfig,
+    announce_join,
+    await_invite,
+    detect_survivors,
+    grow_world,
+    shrink_world,
+)
+from repro.distributed.ledger import BatchLedger
+from repro.distributed.supervisor import (
+    PolicyObservation,
+    ScalingPolicy,
+    TargetSNRPolicy,
+    TargetStepTimePolicy,
+    TrainingSupervisor,
+)
 from repro.distributed.resilient_train import ResilientRunReport, train_resilient
+from repro.distributed.data_parallel import (
+    DataParallelResult,
+    run_data_parallel,
+    run_elastic_data_parallel,
+)
 
 __all__ = [
     "Communicator",
@@ -72,6 +92,18 @@ __all__ = [
     "ElasticConfig",
     "detect_survivors",
     "shrink_world",
+    "announce_join",
+    "await_invite",
+    "grow_world",
+    "BatchLedger",
+    "PolicyObservation",
+    "ScalingPolicy",
+    "TargetStepTimePolicy",
+    "TargetSNRPolicy",
+    "TrainingSupervisor",
     "ResilientRunReport",
     "train_resilient",
+    "DataParallelResult",
+    "run_data_parallel",
+    "run_elastic_data_parallel",
 ]

@@ -19,7 +19,7 @@ from repro.core.callbacks import History
 from repro.core.vqmc import VQMC
 from repro.utils.rng import spawn_generators
 
-__all__ = ["DataParallelResult", "run_data_parallel"]
+__all__ = ["DataParallelResult", "run_data_parallel", "run_elastic_data_parallel"]
 
 Builder = Callable[[int], tuple]
 
@@ -125,3 +125,111 @@ def run_data_parallel(
             timeout=timeout,
         )
     return results[0]
+
+
+def _elastic_worker(
+    comm,
+    rank,
+    builder,
+    iterations,
+    global_batch,
+    seed,
+    checkpoint_dir,
+    plan,
+    supervisor_opts,
+    ledger_opts,
+    ledger_log,
+):
+    from repro.distributed.faults import FaultInjectionCallback, FaultyCommunicator
+    from repro.distributed.ledger import BatchLedger
+    from repro.distributed.resilient import ResilientCommunicator, RetryPolicy
+    from repro.distributed.supervisor import TrainingSupervisor
+
+    opts = dict(supervisor_opts)
+    retry = opts.pop("retry", None) or RetryPolicy(
+        max_attempts=2, backoff_base=0.01, attempt_timeout=0.25
+    )
+    inner = FaultyCommunicator(comm, plan) if plan is not None else comm
+    rcomm = ResilientCommunicator(inner, retry)
+
+    parts = builder(rank)
+    if len(parts) == 4:
+        model, hamiltonian, sampler, optimizer = parts
+        sr = None
+    else:
+        model, hamiltonian, sampler, optimizer, sr = parts
+    rank_rng = spawn_generators(seed, comm.size)[rank]
+    vqmc = VQMC(
+        model, hamiltonian, sampler, optimizer, sr=sr, comm=rcomm, seed=rank_rng
+    )
+    callbacks = list(opts.pop("callbacks", ()))
+    if plan is not None:
+        callbacks.append(FaultInjectionCallback(plan, rank))
+    ledger = BatchLedger(global_batch, comm.size, **dict(ledger_opts or {}))
+    supervisor = TrainingSupervisor(
+        vqmc,
+        checkpoint_dir=checkpoint_dir,
+        callbacks=callbacks,
+        ledger=ledger,
+        **opts,
+    )
+    report = supervisor.run(iterations)
+    if ledger_log is not None and rank == 0:
+        ledger.dump(ledger_log)
+    return report, vqmc.model.flat_parameters()
+
+
+def run_elastic_data_parallel(
+    builder: Builder,
+    world_size: int,
+    iterations: int,
+    global_batch: int,
+    *,
+    checkpoint_dir,
+    seed: int = 0,
+    backend: str = "threads",
+    timeout: float = 600.0,
+    plan=None,
+    ledger_opts: dict | None = None,
+    ledger_log=None,
+    **supervisor_opts: Any,
+) -> list:
+    """Train under full elastic supervision; returns every rank's
+    ``(report, final_params)``.
+
+    The elastic sibling of :func:`run_data_parallel`: each rank's
+    communicator is wrapped in a
+    :class:`~repro.distributed.resilient.ResilientCommunicator` (over a
+    :class:`~repro.distributed.faults.FaultyCommunicator` when a ``plan``
+    is given — chaos testing), the per-rank batch comes from a shared
+    :class:`~repro.distributed.ledger.BatchLedger` over ``global_batch``,
+    and each rank runs a
+    :class:`~repro.distributed.supervisor.TrainingSupervisor`. Extra
+    keyword arguments (``accept_joins``, ``sync_every``, ``policy``,
+    ``elastic``, ``retry`` …) forward to the supervisor; ``ledger_log``
+    names a JSON file rank 0 dumps the ledger history to (read by
+    ``tools/trace.py summary``).
+    """
+    if backend not in ("threads", "processes"):
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'threads' or 'processes'"
+        )
+    args = (
+        builder,
+        iterations,
+        global_batch,
+        seed,
+        str(checkpoint_dir),
+        plan,
+        supervisor_opts,
+        ledger_opts,
+        ledger_log,
+    )
+    if backend == "threads":
+        from repro.distributed.threads import run_threaded
+
+        return run_threaded(_elastic_worker, world_size, args=args, timeout=timeout)
+    from repro.distributed.mp import run_processes
+
+    return run_processes(_elastic_worker, world_size, args=args, timeout=timeout)
+

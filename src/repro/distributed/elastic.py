@@ -1,4 +1,4 @@
-"""Elastic world management: failure detection, consensus, world shrink.
+"""Elastic world management: failure detection, consensus, shrink *and grow*.
 
 When a rank dies mid-run, the survivors of a synchronous data-parallel job
 have exactly three options: wedge (the status quo ante), abort, or agree on
@@ -23,8 +23,33 @@ implements the third:
    re-normalised by the *live* world size — training degrades to a smaller
    effective batch instead of wedging.
 
-The epoch number (monotonically increased by the caller per shrink) lets
-late-arriving control frames from an earlier detection round be discarded.
+The epoch number (monotonically increased by the caller per membership
+change) lets late-arriving control frames from an earlier detection round
+be discarded; frames tagged with a *newer* epoch are accepted — a peer that
+already advanced past our epoch is by definition alive, and discarding its
+frames would deadlock repeated-failure recoveries where ranks enter
+detection from different rounds.
+
+**Growing the world back** (v2) is the reverse handshake:
+
+1. A recovered (or new) process calls :func:`announce_join`: a
+   ``[JOIN, rank, epoch]`` control frame to every peer. The resilient data
+   path treats stray JOIN frames as harmless (discarded like duplicates),
+   so re-announcing is safe at any time.
+2. Survivors observe the announcement at a *step boundary* (the training
+   supervisor polls non-member channels), agree on the joiner set via an
+   allgathered join-bitmask — consensus rides the step-boundary collective,
+   so every member decides identically — and call :func:`grow_world`: each
+   survivor resets the joiner's channel state
+   (:meth:`~repro.distributed.resilient.ResilientCommunicator.reset_peer`)
+   and sends an ``[INVITE, epoch, leader, members…, joiners…]`` frame
+   before touching the enlarged world, guaranteeing the joiner can drain
+   every control frame ahead of new data traffic (channels are FIFO).
+3. The joiner collects every survivor's invite (:func:`await_invite`),
+   after which both sides form the same enlarged
+   :class:`~repro.distributed.comm.SubCommunicator` and run the state
+   broadcast (parameters + optimizer + step, see the training supervisor)
+   so the joiner's next step is congruent with the group's.
 """
 
 from __future__ import annotations
@@ -41,12 +66,20 @@ from repro.distributed.comm import (
     RankFailure,
     SubCommunicator,
 )
-from repro.distributed.resilient import ResilientCommunicator
+from repro.distributed.resilient import JOIN_TAG, ResilientCommunicator
 
-__all__ = ["ElasticConfig", "detect_survivors", "shrink_world"]
+__all__ = [
+    "ElasticConfig",
+    "detect_survivors",
+    "shrink_world",
+    "announce_join",
+    "await_invite",
+    "grow_world",
+]
 
 _HB_TAG = 1.0
 _BM_TAG = 2.0
+_INVITE_TAG = 4.0  # JOIN_TAG (3.0) lives in resilient.py — its data path must know it
 
 
 @dataclass
@@ -111,8 +144,12 @@ def detect_survivors(
             if (
                 payload.size == 3
                 and payload[0] == _HB_TAG
-                and int(payload[1]) == epoch
+                and int(payload[1]) >= epoch
             ):
+                # Same-or-newer epoch: a peer already past our round (it hit
+                # a *second* failure while we were still recovering from the
+                # first) is alive by definition — rejecting it would wedge
+                # repeated-failure recoveries.
                 alive.add(peer)
                 break
             # control frame from an earlier epoch — keep looking
@@ -141,7 +178,7 @@ def detect_survivors(
             if (
                 payload.size == 2 + comm.size
                 and payload[0] == _BM_TAG
-                and int(payload[1]) == epoch
+                and int(payload[1]) >= epoch
             ):
                 agreed = np.minimum(agreed, payload[2:])
                 confirmed = True
@@ -171,3 +208,135 @@ def shrink_world(
     """
     group = detect_survivors(comm, members, epoch, config)
     return SubCommunicator(comm, group)
+
+
+# -- grow: the reverse handshake ------------------------------------------------
+
+
+def announce_join(comm: ResilientCommunicator, epoch_hint: int = 0) -> None:
+    """Joiner side, step 1: announce this rank to every peer.
+
+    Sends a ``[JOIN, rank, epoch]`` control frame on every channel. Safe to
+    repeat (the resilient data path discards stray JOIN frames like
+    duplicates), which the joiner does until an invite arrives — the
+    survivors only poll for announcements at step boundaries.
+    """
+    me = comm.rank
+    join_epoch = float(epoch_hint)
+    frame = np.array([JOIN_TAG, float(me), join_epoch])
+    for peer in range(comm.size):
+        if peer == me:
+            continue
+        try:
+            comm.send_ctrl(peer, frame)
+        except Exception:  # noqa: BLE001 — a closed pipe to a dead peer is expected
+            pass
+
+
+def _parse_invite(
+    payload: np.ndarray, world: int, me: int
+) -> tuple[int, int, list[int], list[int]] | None:
+    """``(epoch, leader, group, joiners)`` if ``payload`` is an invite
+    naming ``me`` a member, else ``None``."""
+    if payload.size != 3 + 2 * world or payload[0] != _INVITE_TAG:
+        return None
+    epoch = int(payload[1])
+    leader = int(payload[2])
+    group = [r for r in range(world) if payload[3 + r] > 0]
+    joiners = [r for r in range(world) if payload[3 + world + r] > 0]
+    if me not in group:
+        return None
+    return epoch, leader, group, joiners
+
+
+def await_invite(
+    comm: ResilientCommunicator,
+    timeout: float,
+    config: ElasticConfig | None = None,
+) -> tuple[int, int, list[int]] | None:
+    """Joiner side, step 2: wait for the survivors' invites.
+
+    Scans every peer channel for an ``[INVITE, epoch, leader, members…,
+    joiners…]`` control frame naming this rank a member (consuming stale
+    detection frames along the way), then drains the *other* survivors'
+    invites too — each survivor sends its invite before any data on the
+    re-formed world, so once all invites are consumed the channels are
+    clean for the state broadcast. Returns ``(epoch, leader, group)``, or
+    ``None`` if no invite arrived within ``timeout`` (re-announce and call
+    again). Raises :class:`CommTimeoutError` if a survivor's invite goes
+    missing after the first one arrived.
+    """
+    me = comm.rank
+    deadline = time.monotonic() + timeout
+    first: tuple[int, int, list[int], list[int]] | None = None
+    source = -1
+    while first is None:
+        if time.monotonic() >= deadline:
+            return None
+        for peer in range(comm.size):
+            if peer == me or not comm.poll(peer):
+                continue
+            try:
+                payload = comm.recv_ctrl(peer, 0.05)
+            except (CommTimeoutError, RankFailure):
+                continue
+            parsed = _parse_invite(payload, comm.size, me)
+            if parsed is not None:
+                first, source = parsed, peer
+                break
+        else:
+            time.sleep(0.01)
+    epoch, leader, group, joiners = first
+    cfg = config or ElasticConfig()
+    _, cs_timeout = cfg.resolved(comm)
+    inviters = [r for r in group if r != me and r != source and r not in joiners]
+    for peer in inviters:
+        peer_deadline = time.monotonic() + cs_timeout
+        while True:
+            remaining = peer_deadline - time.monotonic()
+            if remaining <= 0:
+                raise CommTimeoutError(
+                    f"rank {me}: joined group {group} at epoch {epoch} but "
+                    f"rank {peer}'s invite never arrived"
+                )
+            payload = comm.recv_ctrl(peer, remaining)
+            parsed = _parse_invite(payload, comm.size, me)
+            if parsed is not None and parsed[0] >= epoch:
+                break
+    return epoch, leader, group
+
+
+def grow_world(
+    comm: ResilientCommunicator,
+    members: Sequence[int],
+    joiners: Sequence[int],
+    epoch: int,
+    config: ElasticConfig | None = None,
+) -> SubCommunicator:
+    """Survivor side: admit ``joiners`` and return the enlarged world.
+
+    Collective over ``members`` — every survivor must call it with the same
+    ``joiners`` and ``epoch`` (the training supervisor establishes that via
+    an allgathered join-bitmask at a step boundary). Per joiner it resets
+    the channel state (fresh sequence counters on both sides, stale frames
+    drained) and sends the invite; the invite precedes any data this rank
+    sends on the new world, so the joiner can drain every control frame
+    before the state broadcast starts (FIFO channels).
+    """
+    del config  # symmetry with shrink_world; no timeouts on the send side
+    new_group = sorted(set(members) | set(joiners))
+    leader = min(members)
+    member_bitmap = np.zeros(comm.size)
+    member_bitmap[new_group] = 1.0
+    joiner_bitmap = np.zeros(comm.size)
+    joiner_bitmap[sorted(joiners)] = 1.0
+    invite = np.concatenate(
+        ([_INVITE_TAG, float(epoch), float(leader)], member_bitmap, joiner_bitmap)
+    )
+    for joiner in sorted(joiners):
+        comm.reset_peer(joiner)
+        try:
+            comm.send_ctrl(joiner, invite)
+        except Exception:  # noqa: BLE001 — joiner may have died again already
+            pass
+    return SubCommunicator(comm, new_group)

@@ -1,0 +1,222 @@
+"""Straggler-aware batch accounting: the global-batch → per-rank split.
+
+The paper's weak-scaling analysis (Eq. 14) assumes every rank finishes its
+mini-batch at the same time; one 2× straggler doubles the step time of the
+whole synchronous world. NetKet keeps the global chain count (``n_chains``)
+and the per-rank count (``n_chains_per_rank``) as separate, runtime-derived
+quantities — :class:`BatchLedger` adopts that split and makes the per-rank
+share *dynamic*: a cost model (EWMA of observed per-sample seconds) shifts
+samples away from slow ranks while the global batch stays constant.
+
+Correctness by construction:
+
+- **Global batch is invariant.** Assignments are produced by
+  largest-remainder rounding of the cost-weighted ideal shares, so they sum
+  to ``global_batch`` exactly for every cost vector.
+- **Deterministic and congruent.** Every rank runs the same pure function
+  on the same (allgathered) cost observations — ties broken by slot index —
+  so all ranks hold identical assignments without any extra agreement
+  round. The energy/gradient estimators are already exact under unequal
+  per-rank batches (global-moment centring, global-count normalisation in
+  :class:`repro.core.VQMC`), and per-rank RNG streams never depend on the
+  batch size, so rebalancing changes *which rank draws how many samples*
+  and nothing else.
+- **Stable.** A ``min_chunk`` floor keeps every rank sampling (its cost
+  stays observable), and a hysteresis band suppresses assignment churn from
+  timing noise: a proposed assignment is applied only when it moves some
+  rank by more than ``hysteresis`` × the even share.
+
+The ledger is deliberately communication-free; the caller (the training
+supervisor) allgathers per-rank costs at step boundaries and feeds every
+rank's ledger the same vector.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["BatchLedger"]
+
+
+class BatchLedger:
+    """Owns the global-batch → per-rank-batch assignment.
+
+    Parameters
+    ----------
+    global_batch:
+        Total samples per step across all ranks (held invariant).
+    world_size:
+        Number of live ranks (slots). :meth:`resize` on membership change.
+    min_chunk:
+        Per-rank floor; no rank is assigned fewer samples than this.
+    alpha:
+        EWMA weight of the newest cost observation (1.0 = no smoothing).
+    hysteresis:
+        Relative dead-band: a proposed assignment is applied only if some
+        rank moves by more than ``hysteresis * global_batch / world_size``.
+    rebalance_every:
+        Minimum steps between applied rebalances (0 = every observation).
+    """
+
+    def __init__(
+        self,
+        global_batch: int,
+        world_size: int,
+        *,
+        min_chunk: int = 1,
+        alpha: float = 0.5,
+        hysteresis: float = 0.1,
+        rebalance_every: int = 1,
+    ):
+        if global_batch < 1:
+            raise ValueError(f"global_batch must be >= 1, got {global_batch}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if hysteresis < 0.0:
+            raise ValueError(f"hysteresis must be >= 0, got {hysteresis}")
+        if min_chunk < 1:
+            raise ValueError(f"min_chunk must be >= 1, got {min_chunk}")
+        self.global_batch = int(global_batch)
+        self.min_chunk = int(min_chunk)
+        self.alpha = float(alpha)
+        self.hysteresis = float(hysteresis)
+        self.rebalance_every = int(rebalance_every)
+        self.rebalances = 0
+        self._last_applied_step: int | None = None
+        #: JSON-serialisable audit log, one entry per observe/rebalance
+        self.history: list[dict] = []
+        self._init_world(int(world_size))
+
+    def _init_world(self, world_size: int) -> None:
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        if self.global_batch < world_size * self.min_chunk:
+            raise ValueError(
+                f"global_batch {self.global_batch} cannot give {world_size} "
+                f"ranks at least min_chunk={self.min_chunk} samples each"
+            )
+        self.world_size = world_size
+        self._costs: np.ndarray | None = None  # EWMA per-sample seconds
+        self._assignment = self._split(np.ones(world_size))
+
+    # -- assignment ---------------------------------------------------------
+
+    def assignment(self) -> list[int]:
+        """Current per-slot batch sizes (slot = rank index in the live group)."""
+        return list(self._assignment)
+
+    def batch_for(self, slot: int) -> int:
+        return int(self._assignment[slot])
+
+    def _split(self, costs: np.ndarray) -> list[int]:
+        """Cost-weighted largest-remainder split of ``global_batch``.
+
+        Pure and deterministic: identical inputs yield identical outputs on
+        every rank (remainder ties broken by slot index). Each slot gets at
+        least ``min_chunk``; the remainder is distributed proportionally to
+        inverse cost (a slow rank gets fewer samples).
+        """
+        weights = 1.0 / np.maximum(np.asarray(costs, dtype=np.float64), 1e-12)
+        shares = weights / weights.sum()
+        floor = self.min_chunk
+        spare = self.global_batch - self.world_size * floor
+        ideal = shares * spare
+        base = np.floor(ideal).astype(int)
+        remainder = spare - int(base.sum())
+        # largest fractional parts first; ties by slot index (argsort is stable)
+        order = np.argsort(-(ideal - base), kind="stable")
+        base[order[:remainder]] += 1
+        return [int(floor + b) for b in base]
+
+    # -- cost model ---------------------------------------------------------
+
+    def observe(self, per_sample_seconds) -> None:
+        """Fold one cost observation (per-slot seconds per sample) into the
+        EWMA model. Non-finite / non-positive entries keep the old estimate
+        (a rank that drew nothing this step has no fresh signal)."""
+        obs = np.asarray(per_sample_seconds, dtype=np.float64)
+        if obs.shape != (self.world_size,):
+            raise ValueError(
+                f"expected {self.world_size} cost entries, got shape {obs.shape}"
+            )
+        valid = np.isfinite(obs) & (obs > 0)
+        if self._costs is None:
+            if not valid.all():
+                return  # wait for a full first observation
+            self._costs = obs.copy()
+            return
+        self._costs[valid] = (
+            self.alpha * obs[valid] + (1.0 - self.alpha) * self._costs[valid]
+        )
+
+    def maybe_rebalance(self, step: int) -> bool:
+        """Recompute the assignment from the cost model; apply it only past
+        the hysteresis dead-band and the ``rebalance_every`` cadence.
+        Returns whether the assignment changed."""
+        if self._costs is None:
+            return False
+        if (
+            self._last_applied_step is not None
+            and step - self._last_applied_step < self.rebalance_every
+        ):
+            return False
+        proposed = self._split(self._costs)
+        even_share = self.global_batch / self.world_size
+        delta = max(
+            abs(p - c) for p, c in zip(proposed, self._assignment)
+        )
+        applied = delta > self.hysteresis * even_share
+        self.history.append(
+            {
+                "step": int(step),
+                "costs": [float(c) for c in self._costs],
+                "proposed": list(proposed),
+                "assignment": list(proposed if applied else self._assignment),
+                "applied": bool(applied),
+            }
+        )
+        if applied:
+            self._assignment = proposed
+            self._last_applied_step = int(step)
+            self.rebalances += 1
+        return applied
+
+    # -- membership ---------------------------------------------------------
+
+    def resize(self, world_size: int) -> None:
+        """Reset for a new world size (shrink or grow): even split, cost
+        model cleared — stale per-rank costs do not map across membership
+        changes (slot *i* may be a different physical rank now)."""
+        self._init_world(int(world_size))
+        self._last_applied_step = None
+        self.history.append(
+            {"resize": int(world_size), "assignment": list(self._assignment)}
+        )
+
+    # -- audit log ----------------------------------------------------------
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the assignment history as JSON (read by ``tools/trace.py
+        summary`` to annotate per-rank tables with batch assignments)."""
+        path = Path(path)
+        payload = {
+            "global_batch": self.global_batch,
+            "world_size": self.world_size,
+            "min_chunk": self.min_chunk,
+            "alpha": self.alpha,
+            "hysteresis": self.hysteresis,
+            "rebalances": self.rebalances,
+            "assignment": list(self._assignment),
+            "history": self.history,
+        }
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchLedger(global_batch={self.global_batch}, "
+            f"world_size={self.world_size}, assignment={list(self._assignment)})"
+        )

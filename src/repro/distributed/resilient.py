@@ -51,13 +51,22 @@ from repro.distributed.comm import (
     RankFailure,
 )
 
-__all__ = ["RetryPolicy", "ResilientCommunicator"]
+__all__ = ["RetryPolicy", "ResilientCommunicator", "JOIN_TAG"]
 
 #: frame type tags (exact float64 constants, compared bit-exactly)
 _DATA_MAGIC = 1.6180339887e9
 _CTRL_MAGIC = 2.7182818284e9
 
 _HEADER = 4  # checksum, magic, seq, ndim
+
+#: first payload slot of an elastic join announcement (``[JOIN, rank, epoch]``,
+#: see :mod:`repro.distributed.elastic`). Defined here — below the elastic
+#: layer — because the *data* path must recognise it: a JOIN control frame
+#: interleaved with data traffic is a stale re-announcement from a rank that
+#: has already been admitted (the joiner re-sends until invited), not a peer
+#: abandoning the collective, so it is discarded like a duplicate instead of
+#: escalating to :class:`RankFailure`.
+JOIN_TAG = 3.0
 
 
 def _checksum_u64(flat: np.ndarray) -> np.uint64:
@@ -278,7 +287,7 @@ class ResilientCommunicator(Communicator):
                 return payload
             out = self._accept(source, kind, seq, payload, raw, had_timeout=False)
             if out is not None:
-                return out  # unreachable today (duplicates return None)
+                return out  # unreachable (duplicates and stale JOINs return None)
         return self._recv_loop(source, timeout)
 
     def _escalate(self, source: int, attempts: int, exc: Exception) -> None:
@@ -305,6 +314,11 @@ class ResilientCommunicator(Communicator):
         returns the payload to deliver, ``None`` for a discarded duplicate,
         and raises :class:`RankFailure` on control frames / message loss."""
         if kind == "ctrl":
+            if payload.size == 3 and payload[0] == JOIN_TAG:
+                # Stale join re-announcement (the joiner repeats it until a
+                # survivor invites it) — harmless, skip like a duplicate.
+                self.stats.duplicates_discarded += 1
+                return None
             # Failure-detection traffic interleaved with data: a peer has
             # abandoned the collective. Preserve the frame for the
             # detection protocol and escalate.
@@ -341,6 +355,14 @@ class ResilientCommunicator(Communicator):
         exact."""
         policy = self.policy
         had_timeout = isinstance(fail, CommTimeoutError)
+        # Overall deadline, independent of the per-attempt accounting:
+        # discarded frames (duplicates, stale JOIN announcements) do not
+        # consume an attempt, so a peer that floods them — a restarted rank
+        # re-announcing every few hundred ms — would otherwise keep this
+        # recv alive forever without ever delivering data (livelock: each
+        # arriving frame resets the inner recv's timeout window).
+        per = policy.attempt_timeout if policy.attempt_timeout is not None else timeout
+        deadline = time.monotonic() + policy.escalation_time(per)
         if attempts:
             if attempts >= policy.max_attempts:
                 self._escalate(source, attempts, fail)
@@ -371,6 +393,15 @@ class ResilientCommunicator(Communicator):
             out = self._accept(source, kind, seq, payload, raw, had_timeout)
             if out is not None:
                 return out
+            if time.monotonic() >= deadline:
+                self._escalate(
+                    source,
+                    attempts + 1,
+                    CommTimeoutError(
+                        f"rank {self.rank}: only discardable frames from "
+                        f"rank {source} within the retry budget"
+                    ),
+                )
 
     # -- control path ---------------------------------------------------------
 
@@ -409,6 +440,31 @@ class ResilientCommunicator(Communicator):
                 # Consume the stale data frame; a gap means frames were
                 # lost mid-abort — fast-forward to the sender's position.
                 self._recv_seq[source] = seq + 1
+
+    def reset_peer(self, peer: int) -> None:
+        """Forget all channel state for ``peer``: sequence counters (both
+        directions), pushback, and any frames still queued on the raw
+        channel.
+
+        The elastic grow handshake calls this *symmetrically* — the joiner
+        resets every peer before announcing, each survivor resets the
+        joiner before inviting. A restarted process begins with fresh
+        sequence counters, so the surviving side must zero its own or every
+        post-join message would be rejected as loss/duplication; and frames
+        from the peer's previous life (aborted collectives, duplicate join
+        announcements) must not leak into the new epoch's traffic.
+        """
+        self._check_peer(peer)
+        self._send_seq.pop(peer, None)
+        self._recv_seq.pop(peer, None)
+        self._pushback.pop(peer, None)
+        try:
+            while self.inner.poll(peer):
+                self.inner.recv(peer, timeout=0.05)
+        except (CommTimeoutError, NotImplementedError):
+            pass
+        except Exception:  # noqa: BLE001 — a closed pipe to a dead peer is expected
+            pass
 
     # -- barrier --------------------------------------------------------------
 

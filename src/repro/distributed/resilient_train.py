@@ -9,14 +9,15 @@ for testing). The recovery contract:
   messages) are absorbed invisibly by the resilient layer's retries —
   training is bit-identical to a fault-free run.
 - Unrecoverable faults (a dead or persistently-failing rank) escalate to
-  :class:`~repro.distributed.comm.RankFailure`. The driver then (1) runs
-  heartbeat detection + survivor consensus
+  :class:`~repro.distributed.comm.RankFailure`. The supervisor then
+  (1) runs heartbeat detection + survivor consensus
   (:func:`~repro.distributed.elastic.detect_survivors`), (2) shrinks the
   trainer's world onto the survivors, (3) agrees (min-allreduce) on the
   newest checkpoint step every survivor can verify, and (4) restores it —
   parameters, optimizer moments, RNG state, step counter — so the
   continued run is *bit-exactly* the run that would have started from that
-  checkpoint on the smaller world.
+  checkpoint on the smaller world. Recovery is re-entrant: further
+  failures during the restore loop back into detection on a fresh epoch.
 - An injected crash (:class:`~repro.distributed.faults.InjectedRankCrash`)
   terminates this rank silently, exactly like process death: the report is
   returned with ``crashed=True`` and the survivors find out via timeouts.
@@ -25,41 +26,30 @@ Checkpoints are the crash-safe kind (atomic replace + CRC32, per-rank
 files in a shared directory); ``resume="auto"`` restores the newest
 verifying checkpoint at startup, which is the crash/restart story for
 serial runs where there is no surviving peer to shrink with.
+
+This module is the stable one-call façade over
+:class:`~repro.distributed.supervisor.TrainingSupervisor` — the explicit
+state machine that also *grows* the world back (rank rejoin) and
+rebalances per-rank batches away from stragglers. Use the supervisor
+directly for those: ``TrainingSupervisor(...).run(...)`` on the survivors
+and ``.rejoin(...)`` on a recovered rank — or pass ``accept_joins=True`` /
+a :class:`~repro.distributed.ledger.BatchLedger` here.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
-import numpy as np
-
-from repro.core.callbacks import StopTraining
-from repro.core.checkpoint import CheckpointCallback, CheckpointCorruptError
-from repro.distributed.comm import RankFailure, SubCommunicator
-from repro.distributed.elastic import ElasticConfig, detect_survivors
-from repro.distributed.faults import InjectedRankCrash
+from repro.distributed.elastic import ElasticConfig
+from repro.distributed.ledger import BatchLedger
+from repro.distributed.supervisor import (
+    ResilientRunReport,
+    ScalingPolicy,
+    TrainingSupervisor,
+)
 
 __all__ = ["ResilientRunReport", "train_resilient"]
-
-
-@dataclass
-class ResilientRunReport:
-    """One rank's account of a resilient training run (picklable)."""
-
-    rank: int
-    completed_steps: int = 0
-    crashed: bool = False
-    evicted: bool = False
-    #: one entry per world shrink: {"epoch", "restored_step", "group"}
-    restores: list = field(default_factory=list)
-    final_group: list = field(default_factory=list)
-    #: wall seconds spent in detection + consensus + restore, total
-    recovery_seconds: float = 0.0
-    comm_stats: dict = field(default_factory=dict)
-    checkpoint_dir: str = ""
 
 
 def train_resilient(
@@ -74,6 +64,11 @@ def train_resilient(
     elastic: ElasticConfig | None = None,
     max_shrinks: int | None = None,
     resume: str | bool = "auto",
+    ledger: BatchLedger | None = None,
+    policy: ScalingPolicy | None = None,
+    accept_joins: bool = False,
+    sync_every: int = 1,
+    rejoin_seed: int = 0,
 ) -> ResilientRunReport:
     """Train ``vqmc`` for ``iterations`` total steps, surviving rank failures.
 
@@ -97,84 +92,25 @@ def train_resilient(
     resume:
         ``"auto"`` restores the newest verifying checkpoint before
         training (the restart-after-crash path); ``False`` starts fresh.
+    ledger, policy, accept_joins, sync_every, rejoin_seed:
+        Elastic-v2 knobs, forwarded to
+        :class:`~repro.distributed.supervisor.TrainingSupervisor`. The
+        defaults (no ledger, no join polling) reproduce the PR-2
+        shrink-only behaviour bit-exactly.
     """
-    comm = vqmc.comm
-    world = comm.size if comm is not None else 1
-    rank = comm.rank if comm is not None else 0
-    ckpt = CheckpointCallback(
-        checkpoint_dir, every=checkpoint_every, keep_last=keep_last, rank=rank
+    supervisor = TrainingSupervisor(
+        vqmc,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        keep_last=keep_last,
+        callbacks=callbacks,
+        elastic=elastic,
+        max_shrinks=max_shrinks,
+        resume=resume,
+        ledger=ledger,
+        policy=policy,
+        accept_joins=accept_joins,
+        sync_every=sync_every,
+        rejoin_seed=rejoin_seed,
     )
-    report = ResilientRunReport(rank=rank, checkpoint_dir=str(ckpt.directory))
-
-    if resume == "auto":
-        ckpt.restore_latest(vqmc)
-    if ckpt.newest_verified_step() is None:
-        ckpt.write(vqmc, vqmc.global_step)
-
-    group = list(range(world))
-    epoch = 0
-    shrinks = 0
-
-    for cb in callbacks:
-        cb.on_run_begin(vqmc)
-    while vqmc.global_step < iterations:
-        try:
-            result = vqmc.step(batch_size)
-            if vqmc.global_step % checkpoint_every == 0:
-                ckpt.write(vqmc, vqmc.global_step)
-            for cb in callbacks:
-                cb.on_step(result.step, result)
-        except StopTraining:
-            break
-        except InjectedRankCrash:
-            # Process death: fall silent immediately (no on_run_end, no
-            # further communication) and let the survivors detect it.
-            report.completed_steps = vqmc.global_step
-            report.crashed = True
-            report.final_group = group
-            return report
-        except RankFailure:
-            if comm is None or world == 1:
-                raise
-            t0 = time.perf_counter()
-            epoch += 1
-            shrinks += 1
-            if max_shrinks is not None and shrinks > max_shrinks:
-                raise
-            try:
-                group = detect_survivors(comm, group, epoch, elastic)
-            except RankFailure:
-                report.completed_steps = vqmc.global_step
-                report.evicted = True
-                report.final_group = []
-                report.recovery_seconds += time.perf_counter() - t0
-                return report
-            vqmc.comm = SubCommunicator(comm, group)
-            # Survivors agree on the newest step every one of them can
-            # verify on disk, then restore it — same parameters, optimizer
-            # moments, and RNG state everywhere, so the continued run is
-            # bit-exactly a restart from that checkpoint.
-            newest = ckpt.newest_verified_step()
-            if newest is None:
-                raise CheckpointCorruptError(
-                    ckpt.directory, "no verifiable checkpoint to recover from"
-                )
-            agreed = int(
-                vqmc.comm.allreduce(np.array([float(newest)]), op="min")[0]
-            )
-            used = ckpt.restore_latest(vqmc, at_step=agreed)
-            if used is None:
-                raise CheckpointCorruptError(
-                    ckpt.directory,
-                    f"agreed restore step {agreed} is missing or corrupt on rank {rank}",
-                )
-            report.restores.append(
-                {"epoch": epoch, "restored_step": agreed, "group": list(group)}
-            )
-            report.recovery_seconds += time.perf_counter() - t0
-    for cb in callbacks:
-        cb.on_run_end(vqmc)
-    report.completed_steps = vqmc.global_step
-    report.final_group = group
-    report.comm_stats = comm.stats.snapshot() if comm is not None else {}
-    return report
+    return supervisor.run(iterations, batch_size=batch_size)

@@ -212,6 +212,58 @@ class TestRankDependentCollective:
         )
 
 
+class TestCtrlFrameWithoutEpoch:
+    def test_flags_untagged_ctrl_send(self, tmp_path):
+        findings = assert_flags(
+            tmp_path,
+            "dist-epoch-tag",
+            "import numpy as np\n"
+            "def ping(comm, peer):\n"
+            "    comm.send_ctrl(peer, np.array([1.0, 2.0]))\n",
+        )
+        assert "epoch" in findings[0].message
+
+    def test_allows_epoch_in_payload_expression(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "dist-epoch-tag",
+            "import numpy as np\n"
+            "def ping(comm, peer, epoch):\n"
+            "    comm.send_ctrl(peer, np.array([1.0, float(epoch)]))\n",
+        )
+
+    def test_resolves_bare_name_payload_to_assignment(self, tmp_path):
+        # the heartbeat idiom: payload built once, sent in a loop
+        assert_clean(
+            tmp_path,
+            "dist-epoch-tag",
+            "import numpy as np\n"
+            "def beat(comm, peers, epoch):\n"
+            "    hb = np.array([1.0, float(epoch), float(comm.rank)])\n"
+            "    for peer in peers:\n"
+            "        comm.send_ctrl(peer, hb)\n",
+        )
+
+    def test_flags_bare_name_payload_without_epoch(self, tmp_path):
+        assert_flags(
+            tmp_path,
+            "dist-epoch-tag",
+            "import numpy as np\n"
+            "def beat(comm, peer):\n"
+            "    frame = np.array([1.0, 2.0])\n"
+            "    comm.send_ctrl(peer, frame)\n",
+        )
+
+    def test_allows_epoch_attribute(self, tmp_path):
+        assert_clean(
+            tmp_path,
+            "dist-epoch-tag",
+            "import numpy as np\n"
+            "def ping(self, comm, peer):\n"
+            "    comm.send_ctrl(peer, np.array([4.0, float(self.epoch)]))\n",
+        )
+
+
 class TestRecvWithoutTimeout:
     def test_flags_recv_with_source_only(self, tmp_path):
         findings = assert_flags(tmp_path, "dist-recv-timeout", "x = comm.recv(0)\n")

@@ -1,0 +1,145 @@
+"""Elastic restore: a checkpoint directory written at world=N must restore
+at any world size.
+
+- ranks whose own file exists restore it *bit-exactly* (parameters,
+  optimizer moments, RNG stream, step);
+- new ranks borrow a donor's parameters/optimizer/step but derive a fresh
+  deterministic RNG stream (never the donor's — two ranks on one stream
+  would correlate the global batch);
+- corrupt files degrade to the donor path instead of failing the restore.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import VQMC, CheckpointCallback, CheckpointCorruptError, restore_elastic
+from repro.models import MADE
+from repro.optim import Adam
+from repro.samplers import AutoregressiveSampler
+
+
+def make_vqmc(small_tim, seed=7):
+    model = MADE(6, hidden=8, rng=np.random.default_rng(3))
+    return VQMC(
+        model, small_tim, AutoregressiveSampler(),
+        Adam(model.parameters(), lr=0.01), seed=seed,
+    )
+
+
+def _write_world(small_tim, directory, world_size, steps=4):
+    """Simulate a world of ``world_size`` ranks checkpointing into one
+    directory: each rank trains its own trainer (different RNG streams,
+    same lock-step parameters are not required for this test's purposes)
+    and writes rank-suffixed files."""
+    trainers = []
+    for rank in range(world_size):
+        vqmc = make_vqmc(small_tim, seed=100 + rank)
+        for _ in range(steps):
+            vqmc.step(8)
+        ckpt = CheckpointCallback(directory, every=1, keep_last=3, rank=rank)
+        ckpt.write(vqmc, vqmc.global_step)
+        trainers.append(vqmc)
+    return trainers
+
+
+class TestOwnFileBitExact:
+    @pytest.mark.parametrize("world", [2, 4])
+    def test_same_world_restore_is_bit_exact(self, small_tim, tmp_path, world):
+        trainers = _write_world(small_tim, tmp_path, world)
+        for rank in range(world):
+            fresh = make_vqmc(small_tim)
+            info = restore_elastic(
+                fresh, tmp_path, rank=rank, world_size=world, seed=9,
+            )
+            assert info["exact"] and info["source_rank"] == rank
+            ref, out = trainers[rank], fresh
+            assert np.array_equal(
+                ref.model.flat_parameters(), out.model.flat_parameters()
+            )
+            assert out.global_step == ref.global_step
+            # RNG stream continues bit-exactly: next draws agree
+            assert np.array_equal(
+                ref.rng.standard_normal(4), out.rng.standard_normal(4)
+            )
+
+    def test_shrink_world4_to_world2(self, small_tim, tmp_path):
+        trainers = _write_world(small_tim, tmp_path, 4)
+        for rank in range(2):
+            fresh = make_vqmc(small_tim)
+            info = restore_elastic(fresh, tmp_path, rank=rank, world_size=2)
+            assert info["exact"]
+            assert np.array_equal(
+                trainers[rank].model.flat_parameters(),
+                fresh.model.flat_parameters(),
+            )
+
+
+class TestGrowDonors:
+    def test_grow_world4_to_world6_new_ranks_get_donor_state(
+        self, small_tim, tmp_path
+    ):
+        trainers = _write_world(small_tim, tmp_path, 4)
+        step = trainers[0].global_step
+        for rank in (4, 5):
+            fresh = make_vqmc(small_tim)
+            info = restore_elastic(
+                fresh, tmp_path, rank=rank, world_size=6, seed=9,
+            )
+            assert not info["exact"]
+            donor = info["source_rank"]
+            assert donor == rank % 4
+            assert np.array_equal(
+                trainers[donor].model.flat_parameters(),
+                fresh.model.flat_parameters(),
+            )
+            assert fresh.global_step == step
+            # ...but NOT the donor's RNG stream
+            assert not np.array_equal(
+                trainers[donor].rng.standard_normal(4),
+                fresh.rng.standard_normal(4),
+            )
+
+    def test_new_ranks_get_distinct_deterministic_streams(self, small_tim, tmp_path):
+        _write_world(small_tim, tmp_path, 4)
+        a = make_vqmc(small_tim)
+        b = make_vqmc(small_tim)
+        restore_elastic(a, tmp_path, rank=4, world_size=6, seed=9)
+        restore_elastic(b, tmp_path, rank=5, world_size=6, seed=9)
+        draws_a = a.rng.standard_normal(8)
+        draws_b = b.rng.standard_normal(8)
+        assert not np.array_equal(draws_a, draws_b)  # disjoint streams
+        # deterministic: restoring the same rank again replays the stream
+        c = make_vqmc(small_tim)
+        restore_elastic(c, tmp_path, rank=4, world_size=6, seed=9)
+        assert np.array_equal(draws_a, c.rng.standard_normal(8))
+
+
+class TestDegradation:
+    def test_corrupt_own_file_falls_back_to_donor(self, small_tim, tmp_path):
+        trainers = _write_world(small_tim, tmp_path, 2)
+        step = trainers[1].global_step
+        own = tmp_path / f"checkpoint_{step:08d}.rank001.npz"
+        own.write_bytes(own.read_bytes()[:100])  # truncate
+        fresh = make_vqmc(small_tim)
+        info = restore_elastic(fresh, tmp_path, rank=1, world_size=2, seed=9)
+        assert not info["exact"] and info["source_rank"] == 0
+
+    def test_at_step_pins_the_restore(self, small_tim, tmp_path):
+        vqmc = make_vqmc(small_tim)
+        ckpt = CheckpointCallback(tmp_path, every=1, keep_last=5, rank=0)
+        for _ in range(3):
+            vqmc.step(8)
+            ckpt.write(vqmc, vqmc.global_step)
+        fresh = make_vqmc(small_tim)
+        info = restore_elastic(fresh, tmp_path, rank=0, world_size=1, at_step=2)
+        assert info["step"] == 2 and fresh.global_step == 2
+
+    def test_empty_directory_raises_typed_error(self, small_tim, tmp_path):
+        with pytest.raises(CheckpointCorruptError, match="no verifiable"):
+            restore_elastic(make_vqmc(small_tim), tmp_path, rank=0, world_size=2)
+
+    def test_rank_range_validated(self, small_tim, tmp_path):
+        with pytest.raises(ValueError, match="out of range"):
+            restore_elastic(make_vqmc(small_tim), tmp_path, rank=2, world_size=2)

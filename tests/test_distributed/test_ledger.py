@@ -1,0 +1,188 @@
+"""BatchLedger: the global-batch → per-rank split under a cost model.
+
+The invariants pinned here:
+
+- every split sums to ``global_batch`` exactly, for any cost vector;
+- the ``min_chunk`` floor holds even under extreme cost skew;
+- the hysteresis dead-band suppresses churn from timing noise but lets a
+  real straggler through;
+- the EWMA folds observations deterministically (identical inputs on two
+  ledgers → identical assignments — the congruence the supervisor relies
+  on instead of an extra agreement round);
+- ``resize`` resets to an even split and clears stale costs;
+- ``dump`` writes the JSON that ``tools/trace.py summary`` reads.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.distributed.ledger import BatchLedger
+
+
+class TestSplitExactness:
+    def test_even_costs_even_split(self):
+        ledger = BatchLedger(48, 4)
+        assert ledger.assignment() == [12, 12, 12, 12]
+
+    def test_sums_to_global_batch_for_random_costs(self):
+        rng = np.random.default_rng(0)
+        for world in (1, 2, 3, 5, 7, 16):
+            ledger = BatchLedger(97, world)
+            for _ in range(50):
+                costs = rng.uniform(0.1, 10.0, size=world)
+                assert sum(ledger._split(costs)) == 97
+
+    def test_indivisible_batch_remainder_to_low_index_on_ties(self):
+        ledger = BatchLedger(10, 4)
+        # equal costs: 10 = 4*2 + 2 extra, ties broken by slot index
+        assert ledger._split(np.ones(4)) == [3, 3, 2, 2]
+
+    def test_slow_rank_gets_fewer_samples(self):
+        ledger = BatchLedger(48, 4)
+        split = ledger._split(np.array([1.0, 1.0, 1.0, 2.0]))
+        assert sum(split) == 48
+        assert split[3] < min(split[:3])
+        # equal-cost slots differ by at most the rounding remainder
+        assert max(split[:3]) - min(split[:3]) <= 1
+
+    def test_min_chunk_floor_under_extreme_skew(self):
+        ledger = BatchLedger(40, 4, min_chunk=4)
+        split = ledger._split(np.array([1.0, 1.0, 1.0, 1e6]))
+        assert sum(split) == 40
+        assert all(s >= 4 for s in split)
+        assert split[3] == 4  # pinned to the floor, not starved to zero
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="global_batch"):
+            BatchLedger(0, 2)
+        with pytest.raises(ValueError, match="min_chunk"):
+            BatchLedger(8, 2, min_chunk=0)
+        with pytest.raises(ValueError, match="alpha"):
+            BatchLedger(8, 2, alpha=0.0)
+        with pytest.raises(ValueError, match="hysteresis"):
+            BatchLedger(8, 2, hysteresis=-0.1)
+        with pytest.raises(ValueError, match="at least min_chunk"):
+            BatchLedger(4, 8)  # cannot give 8 ranks 1 sample from a batch of 4
+
+    def test_batch_for_matches_assignment(self):
+        ledger = BatchLedger(10, 3)
+        assert [ledger.batch_for(s) for s in range(3)] == ledger.assignment()
+
+
+class TestCostModel:
+    def test_first_observation_must_be_fully_valid(self):
+        ledger = BatchLedger(48, 4)
+        ledger.observe([1.0, 1.0, np.nan, 1.0])  # partial: ignored
+        assert not ledger.maybe_rebalance(1)
+        ledger.observe([1.0, 1.0, 1.0, 4.0])
+        assert ledger.maybe_rebalance(2)
+        assert ledger.assignment()[3] < 12
+
+    def test_invalid_entries_keep_old_estimate(self):
+        ledger = BatchLedger(48, 4, alpha=1.0)
+        ledger.observe([1.0, 1.0, 1.0, 4.0])
+        before = ledger._costs.copy()
+        ledger.observe([1.0, 1.0, 1.0, np.inf])
+        assert ledger._costs[3] == before[3]
+        ledger.observe([1.0, 1.0, 1.0, -2.0])
+        assert ledger._costs[3] == before[3]
+
+    def test_ewma_smoothing(self):
+        ledger = BatchLedger(48, 2, alpha=0.5)
+        ledger.observe([1.0, 1.0])
+        ledger.observe([1.0, 3.0])
+        assert ledger._costs[1] == pytest.approx(2.0)  # 0.5*3 + 0.5*1
+
+    def test_observation_shape_checked(self):
+        ledger = BatchLedger(48, 4)
+        with pytest.raises(ValueError, match="4 cost entries"):
+            ledger.observe([1.0, 1.0])
+
+
+class TestHysteresis:
+    def test_noise_inside_deadband_is_ignored(self):
+        ledger = BatchLedger(48, 4, alpha=1.0, hysteresis=0.25)
+        ledger.observe([1.0, 1.0, 1.0, 1.05])  # ~0.6-sample shift << 3-sample band
+        assert not ledger.maybe_rebalance(1)
+        assert ledger.assignment() == [12, 12, 12, 12]
+        assert ledger.rebalances == 0
+
+    def test_real_straggler_crosses_deadband(self):
+        ledger = BatchLedger(48, 4, alpha=1.0, hysteresis=0.25)
+        ledger.observe([1.0, 1.0, 1.0, 2.0])
+        assert ledger.maybe_rebalance(1)
+        assert ledger.rebalances == 1
+        assert sum(ledger.assignment()) == 48
+
+    def test_rebalance_cadence(self):
+        ledger = BatchLedger(48, 4, alpha=1.0, hysteresis=0.0, rebalance_every=5)
+        ledger.observe([1.0, 1.0, 1.0, 2.0])
+        assert ledger.maybe_rebalance(1)
+        ledger.observe([2.0, 1.0, 1.0, 1.0])  # big change, but inside the cadence
+        assert not ledger.maybe_rebalance(3)
+        assert ledger.maybe_rebalance(6)
+
+    def test_history_records_skipped_and_applied(self):
+        ledger = BatchLedger(48, 4, alpha=1.0, hysteresis=0.25)
+        ledger.observe([1.0, 1.0, 1.0, 1.01])
+        ledger.maybe_rebalance(1)
+        ledger.observe([1.0, 1.0, 1.0, 3.0])
+        ledger.maybe_rebalance(2)
+        assert [h["applied"] for h in ledger.history] == [False, True]
+        assert all(sum(h["assignment"]) == 48 for h in ledger.history)
+
+
+class TestDeterminism:
+    def test_two_ledgers_same_observations_identical_assignments(self):
+        """The supervisor's congruence contract: every rank folds the same
+        allgathered cost vectors and must reach the same assignment."""
+        rng = np.random.default_rng(42)
+        a = BatchLedger(100, 5, alpha=0.3, hysteresis=0.1)
+        b = BatchLedger(100, 5, alpha=0.3, hysteresis=0.1)
+        for step in range(30):
+            costs = rng.uniform(0.5, 2.0, size=5)
+            a.observe(costs)
+            b.observe(costs)
+            assert a.maybe_rebalance(step) == b.maybe_rebalance(step)
+            assert a.assignment() == b.assignment()
+
+
+class TestResize:
+    def test_resize_resets_even_and_clears_costs(self):
+        ledger = BatchLedger(48, 4, alpha=1.0, hysteresis=0.0)
+        ledger.observe([1.0, 1.0, 1.0, 4.0])
+        ledger.maybe_rebalance(1)
+        ledger.resize(3)
+        assert ledger.world_size == 3
+        assert ledger.assignment() == [16, 16, 16]
+        assert ledger._costs is None  # stale slots do not map across worlds
+        assert ledger.history[-1] == {"resize": 3, "assignment": [16, 16, 16]}
+
+    def test_resize_grow_keeps_global_batch(self):
+        ledger = BatchLedger(48, 2)
+        ledger.resize(6)
+        assert sum(ledger.assignment()) == 48
+
+    def test_resize_validates_floor(self):
+        ledger = BatchLedger(8, 2, min_chunk=4)
+        with pytest.raises(ValueError, match="at least min_chunk"):
+            ledger.resize(4)
+
+
+class TestDump:
+    def test_dump_round_trips(self, tmp_path):
+        ledger = BatchLedger(48, 4, alpha=1.0, hysteresis=0.0)
+        ledger.observe([1.0, 1.0, 1.0, 2.0])
+        ledger.maybe_rebalance(1)
+        ledger.resize(3)
+        out = ledger.dump(tmp_path / "ledger.json")
+        data = json.loads(out.read_text())
+        assert data["global_batch"] == 48
+        assert data["world_size"] == 3
+        assert data["rebalances"] == 1
+        assert data["assignment"] == [16, 16, 16]
+        assert len(data["history"]) == 2

@@ -1,0 +1,244 @@
+"""The self-healing training supervisor: policies, repeated failures, rejoin.
+
+Three contracts pinned here:
+
+- **Scaling policies** are pure functions of a congruent observation
+  (unit-tested without any communicator).
+- **Repeated failures shrink repeatedly** (the two-crashes-in-separate-
+  epochs regression): a second rank dying after the world already shrank
+  must trigger a second clean shrink — re-entrant recovery, not a deadlock
+  or an escaped exception.
+- **Crash → shrink → rejoin converges**: a seeded FaultPlan kills a rank
+  mid-run, the survivors shrink and keep training, the dead rank restarts
+  and re-enters via :meth:`TrainingSupervisor.rejoin`, and all ranks finish
+  with *bit-identical* parameters (the lock-step invariant holds through
+  the grow). The faulty run's final energy agrees with a no-fault run
+  within statistical tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.vqmc import VQMC
+from repro.distributed import (
+    BatchLedger,
+    ElasticConfig,
+    FaultEvent,
+    FaultInjectionCallback,
+    FaultPlan,
+    FaultyCommunicator,
+    PolicyObservation,
+    ResilientCommunicator,
+    RetryPolicy,
+    ScalingPolicy,
+    TargetSNRPolicy,
+    TargetStepTimePolicy,
+    TrainingSupervisor,
+    run_threaded,
+)
+from repro.hamiltonians import TransverseFieldIsing
+from repro.models import MADE
+from repro.optim import SGD
+from repro.samplers import AutoregressiveSampler
+
+pytestmark = pytest.mark.faults
+
+_RETRY = dict(max_attempts=2, backoff_base=0.01, attempt_timeout=0.25)
+
+
+def _make_vqmc(comm, rank):
+    model = MADE(6, hidden=8, rng=np.random.default_rng(3))
+    ham = TransverseFieldIsing.random(6, seed=1)
+    return VQMC(
+        model, ham, AutoregressiveSampler(),
+        SGD(model.parameters(), lr=0.05),
+        comm=comm, seed=100 + rank,
+    )
+
+
+def _obs(**kw):
+    base = dict(step=10, world_size=4, step_seconds=1.0,
+                energy_mean=-5.0, energy_sem=0.5, pending_joiners=1)
+    base.update(kw)
+    return PolicyObservation(**base)
+
+
+class TestScalingPolicies:
+    def test_base_policy_admits_everyone(self):
+        assert ScalingPolicy().decide(_obs()) == "grow"
+
+    def test_target_step_time(self):
+        policy = TargetStepTimePolicy(target_seconds=1.0, shrink_below=0.5)
+        assert policy.decide(_obs(step_seconds=2.0)) == "grow"
+        assert policy.decide(_obs(step_seconds=0.7)) == "hold"
+        assert policy.decide(_obs(step_seconds=0.3)) == "shrink"
+
+    def test_target_snr(self):
+        policy = TargetSNRPolicy(target_snr=20.0)
+        assert policy.decide(_obs(energy_mean=-5.0, energy_sem=1.0)) == "grow"
+        assert policy.decide(_obs(energy_mean=-5.0, energy_sem=0.1)) == "hold"
+        # degenerate sem: no signal, keep the current world
+        assert policy.decide(_obs(energy_sem=0.0)) == "hold"
+
+
+# -- repeated failures ----------------------------------------------------------
+
+
+def _two_crash_worker(comm, rank, ckpt_dir):
+    """World 4; rank 3 dies at step 3, rank 2 dies at step 6 — two shrinks
+    in separate epochs."""
+    plan = FaultPlan([
+        FaultEvent(kind="crash", rank=3, step=3),
+        FaultEvent(kind="crash", rank=2, step=6),
+    ])
+    rcomm = ResilientCommunicator(
+        FaultyCommunicator(comm, plan), RetryPolicy(**_RETRY)
+    )
+    vqmc = _make_vqmc(rcomm, rank)
+    supervisor = TrainingSupervisor(
+        vqmc,
+        checkpoint_dir=ckpt_dir,
+        checkpoint_every=2,
+        callbacks=[FaultInjectionCallback(plan, rank)],
+        elastic=ElasticConfig(),
+    )
+    report = supervisor.run(10, batch_size=16)
+    return report, vqmc.model.flat_parameters()
+
+
+class TestRepeatedFailures:
+    def test_two_crashes_in_separate_epochs_shrink_twice(self, tmp_path):
+        results = run_threaded(
+            _two_crash_worker, 4, args=(str(tmp_path / "ckpt"),), timeout=120.0,
+        )
+        reports = [r[0] for r in results]
+        assert reports[3].crashed and reports[3].completed_steps == 3
+        assert reports[2].crashed and reports[2].completed_steps == 6
+        for rep in reports[:2]:
+            assert rep.completed_steps == 10
+            assert rep.final_group == [0, 1]
+            assert [r["group"] for r in rep.restores] == [[0, 1, 2], [0, 1]]
+            assert rep.restores[0]["epoch"] < rep.restores[1]["epoch"]
+        # the survivors stayed in lock-step through both shrinks
+        assert np.array_equal(results[0][1], results[1][1])
+
+
+# -- crash, shrink, rejoin -------------------------------------------------------
+
+_REJOIN_ITER = 30
+_REJOIN_CRASH = 4
+_GLOBAL_BATCH = 48
+
+
+def _rejoin_worker(comm, rank, ckpt_dir):
+    """Every rank runs the supervised loop; the scheduled victim restarts
+    itself after the injected crash and rejoins the running world."""
+    plan = FaultPlan([FaultEvent(kind="crash", rank=2, step=_REJOIN_CRASH)])
+    retry = RetryPolicy(**_RETRY)
+    cfg = ElasticConfig(heartbeat_timeout=1.0, consensus_timeout=1.0)
+    rcomm = ResilientCommunicator(FaultyCommunicator(comm, plan), retry)
+    vqmc = _make_vqmc(rcomm, rank)
+    supervisor = TrainingSupervisor(
+        vqmc,
+        checkpoint_dir=ckpt_dir,
+        checkpoint_every=2,
+        callbacks=[FaultInjectionCallback(plan, rank)],
+        elastic=cfg,
+        accept_joins=True,
+        ledger=BatchLedger(_GLOBAL_BATCH, comm.size),
+    )
+    report = supervisor.run(_REJOIN_ITER)
+    if not report.crashed:
+        return report, vqmc.model.flat_parameters()
+
+    # -- restart: fresh resilient stack, fresh trainer (comm=None so the
+    # constructor does not broadcast against the shrunken world), rejoin.
+    rcomm2 = ResilientCommunicator(comm, retry)
+    vqmc2 = _make_vqmc(None, rank)
+    supervisor2 = TrainingSupervisor(
+        vqmc2,
+        checkpoint_dir=ckpt_dir,
+        checkpoint_every=2,
+        elastic=cfg,
+        accept_joins=True,
+        ledger=BatchLedger(_GLOBAL_BATCH, comm.size),
+        root=rcomm2,
+    )
+    report2 = supervisor2.rejoin(_REJOIN_ITER, announce_timeout=0.1,
+                                 max_announces=200)
+    return report2, vqmc2.model.flat_parameters()
+
+
+def _nofault_worker(comm, rank, ckpt_dir):
+    rcomm = ResilientCommunicator(comm, RetryPolicy(**_RETRY))
+    vqmc = _make_vqmc(rcomm, rank)
+    supervisor = TrainingSupervisor(
+        vqmc,
+        checkpoint_dir=ckpt_dir,
+        checkpoint_every=2,
+        accept_joins=True,
+        ledger=BatchLedger(_GLOBAL_BATCH, comm.size),
+    )
+    report = supervisor.run(_REJOIN_ITER)
+    final = vqmc.evaluate(batch_size=256)
+    return report, vqmc.model.flat_parameters(), final
+
+
+class TestRejoin:
+    def test_crash_shrink_rejoin_converges(self, tmp_path):
+        results = run_threaded(
+            _rejoin_worker, 3, args=(str(tmp_path / "chaos"),), timeout=180.0,
+        )
+        reports = [r[0] for r in results]
+
+        # the victim re-entered the world and finished the run
+        assert reports[2].rejoined
+        assert reports[2].completed_steps == _REJOIN_ITER
+        assert reports[2].joins and reports[2].joins[0]["joiners"] == [2]
+        assert reports[2].joins[0]["seconds"] > 0
+
+        for rank in (0, 1):
+            rep = reports[rank]
+            assert rep.completed_steps == _REJOIN_ITER
+            assert rep.final_group == [0, 1, 2]
+            assert rep.restores[0]["group"] == [0, 1]  # the shrink happened
+            assert rep.joins and rep.joins[0]["joiners"] == [2]
+
+        # lock-step invariant: every rank (including the joiner) holds
+        # bit-identical parameters at the end
+        assert np.array_equal(results[0][1], results[1][1])
+        assert np.array_equal(results[0][1], results[2][1])
+
+        # energy sanity vs a no-fault run of the same length: the fault and
+        # recovery must not derail the optimisation (statistical tolerance —
+        # the joiner samples a fresh RNG stream, so no bit-exactness here)
+        clean = run_threaded(
+            _nofault_worker, 3, args=(str(tmp_path / "clean"),), timeout=180.0,
+        )
+        final_clean = clean[0][2]
+        vqmc_check = _make_vqmc(None, 0)
+        vqmc_check.model.set_flat_parameters(results[0][1].copy())
+        final_faulty = vqmc_check.evaluate(batch_size=256)
+        tol = 5.0 * max(final_clean.sem, final_faulty.sem, 1e-3)
+        assert abs(final_faulty.mean - final_clean.mean) < tol
+
+    def test_rejoin_gives_up_when_nobody_invites(self, tmp_path):
+        """A joiner announcing into a finished (silent) world returns
+        rejoined=False instead of hanging."""
+        from repro.distributed.threads import make_thread_group
+
+        comms = make_thread_group(2)
+        rcomm = ResilientCommunicator(comms[0], RetryPolicy(**_RETRY))
+        vqmc = _make_vqmc(None, 0)
+        supervisor = TrainingSupervisor(
+            vqmc,
+            checkpoint_dir=tmp_path / "ckpt",
+            elastic=ElasticConfig(heartbeat_timeout=0.5, consensus_timeout=0.5),
+            accept_joins=True,
+            root=rcomm,
+        )
+        report = supervisor.rejoin(5, announce_timeout=0.1, max_announces=3)
+        assert not report.rejoined
+        assert report.final_group == []

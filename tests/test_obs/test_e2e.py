@@ -168,6 +168,67 @@ class TestAcceptance:
         spans = [e for e in load_chrome_trace(merged) if e["ph"] == "X"]
         assert {e["pid"] for e in spans} == set(range(WORLD))
 
+    def test_trace_cli_summary_annotates_batch_ledger(self, traced_run, tmp_path):
+        """A BatchLedger JSON log next to the traces adds the per-rank batch
+        assignment row (auto-detected, and honoured by --json)."""
+        import shutil
+
+        outdir, _ = traced_run
+        annotated = tmp_path / "annotated"
+        annotated.mkdir()
+        for f in outdir.glob("trace.rank*.json"):
+            shutil.copy2(f, annotated / f.name)
+        ledger = {
+            "global_batch": 48,
+            "world_size": WORLD,
+            "min_chunk": 1,
+            "alpha": 0.5,
+            "hysteresis": 0.1,
+            "rebalances": 2,
+            "assignment": [15, 11, 11, 11],
+            "history": [],
+        }
+        (annotated / "ledger.json").write_text(json.dumps(ledger))
+
+        proc = subprocess.run(
+            [sys.executable, str(CLI), "summary", str(annotated)],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "batch [samples]" in proc.stdout
+        assert "15" in proc.stdout
+        assert "global_batch=48" in proc.stdout
+
+        proc = subprocess.run(
+            [sys.executable, str(CLI), "summary", str(annotated), "--json"],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        doc = json.loads(proc.stdout)
+        assert doc["ledger"]["assignment"] == [15, 11, 11, 11]
+
+    def test_trace_cli_summary_explicit_ledger_flag(self, traced_run, tmp_path):
+        outdir, _ = traced_run
+        log = tmp_path / "my_ledger.json"
+        log.write_text(json.dumps({
+            "global_batch": 64, "world_size": WORLD, "rebalances": 0,
+            "assignment": [16, 16, 16, 16], "history": [],
+        }))
+        proc = subprocess.run(
+            [sys.executable, str(CLI), "summary", str(outdir),
+             "--ledger", str(log)],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "batch [samples]" in proc.stdout
+        assert "global_batch=64" in proc.stdout
+
     def test_trace_cli_missing_path_exits_two(self):
         proc = subprocess.run(
             [sys.executable, str(CLI), "summary", "/nonexistent/trace/dir"],

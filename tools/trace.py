@@ -96,12 +96,36 @@ def _totals(spans: list[dict]) -> tuple[dict[str, dict[int, float]], list[int]]:
     return table, sorted(ranks)
 
 
+def _find_ledger(paths: list[str], explicit: str | None) -> pathlib.Path | None:
+    """The :class:`~repro.distributed.ledger.BatchLedger` JSON log to
+    annotate the summary with: ``--ledger PATH`` wins, otherwise the first
+    ``ledger*.json`` next to the traces."""
+    if explicit:
+        p = pathlib.Path(explicit)
+        if not p.exists():
+            raise FileNotFoundError(explicit)
+        return p
+    for raw in paths:
+        p = pathlib.Path(raw)
+        root = p if p.is_dir() else p.parent
+        hits = sorted(root.glob("ledger*.json"))
+        if hits:
+            return hits[0]
+    return None
+
+
 def cmd_summary(args: argparse.Namespace) -> int:
     from repro.obs import skew_report
     from repro.utils.tables import format_table
 
     spans = _load_spans(_expand(args.paths))
     table, ranks = _totals(spans)
+    ledger_path = _find_ledger(args.paths, args.ledger)
+    ledger = (
+        json.loads(ledger_path.read_text(encoding="utf-8"))
+        if ledger_path is not None
+        else None
+    )
     per_rank_dicts = [
         {name: table[name].get(rank, 0.0) for name in table} for rank in ranks
     ]
@@ -130,21 +154,43 @@ def cmd_summary(args: argparse.Namespace) -> int:
             ]
         )
 
-    if args.json:
-        print(
-            json.dumps(
-                {
-                    "ranks": ranks,
-                    "totals_ms": {n: table[n] for n in sorted(table)},
-                    "counts": counts,
-                    "skew": skew,
-                    "stragglers": stragglers,
-                },
-                indent=2,
-            )
+    if ledger is not None:
+        # Per-rank batch assignment as an extra summary row: slot i of the
+        # ledger is rank i of the live group, aligned best-effort with the
+        # trace ranks (a shrunk world leaves later columns blank).
+        assignment = ledger.get("assignment", [])
+        rows.append(
+            [
+                "batch [samples]",
+                *[
+                    str(assignment[i]) if i < len(assignment) else "-"
+                    for i in range(len(ranks))
+                ],
+                ledger.get("rebalances", 0),
+                "",
+                "",
+            ]
         )
+
+    if args.json:
+        payload = {
+            "ranks": ranks,
+            "totals_ms": {n: table[n] for n in sorted(table)},
+            "counts": counts,
+            "skew": skew,
+            "stragglers": stragglers,
+        }
+        if ledger is not None:
+            payload["ledger"] = ledger
+        print(json.dumps(payload, indent=2))
     else:
         print(format_table(headers, rows, title="per-phase / per-rank span totals"))
+        if ledger is not None:
+            print(
+                f"\n[batch ledger {ledger_path.name}: global_batch="
+                f"{ledger.get('global_batch')} over {ledger.get('world_size')} "
+                f"rank(s), {ledger.get('rebalances', 0)} rebalance(s)]"
+            )
         if stragglers:
             print(f"\n[stragglers > {args.straggler_threshold:.2f}x median]")
             for line in stragglers:
@@ -231,6 +277,12 @@ def main(argv: list[str] | None = None) -> int:
         default=1.25,
         help="flag ranks whose phase total exceeds this multiple of the "
         "cross-rank median (default 1.25)",
+    )
+    p_summary.add_argument(
+        "--ledger",
+        default=None,
+        help="BatchLedger JSON log to annotate the table with per-rank batch "
+        "assignments (auto-detected as ledger*.json next to the traces)",
     )
     p_summary.add_argument("--json", action="store_true", help="JSON output")
     p_summary.add_argument(
