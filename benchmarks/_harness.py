@@ -72,7 +72,7 @@ def emit_json(name: str, payload: dict, out_dir: Path | str | None = None) -> Pa
     doc = {
         "benchmark": name,
         "schema_version": 1,
-        "unix_time": round(time.time(), 3),
+        "unix_time": round(time.time(), 3),  # repro-lint: disable=det-wall-clock -- provenance timestamp in the output envelope, never an input to any computation
         "python": platform.python_version(),
         "numpy": np.__version__,
         **payload,

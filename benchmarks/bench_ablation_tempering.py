@@ -38,10 +38,10 @@ def _bimodal_rbm(n: int, coupling: float, seed: int) -> RBM:
     """A double-well |ψ|² (modes near 0…0 and 1…1) — hard for local MH."""
     model = RBM(n, hidden=max(2, n // 2), rng=np.random.default_rng(seed))
     w = np.full((model.hidden, n), coupling)
-    model.fc.weight.data[...] = w
-    model.fc.bias.data[...] = -0.5 * w.sum(axis=1)
-    model.visible.weight.data[...] = 0.0
-    model.visible.bias.data[...] = 0.0
+    model.fc.weight.data = w
+    model.fc.bias.data = -0.5 * w.sum(axis=1)
+    model.visible.weight.data = np.zeros_like(model.visible.weight.data)
+    model.visible.bias.data = np.zeros_like(model.visible.bias.data)
     return model
 
 

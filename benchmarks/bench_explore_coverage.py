@@ -1,0 +1,122 @@
+"""Schedule-explorer coverage — how fast does the verifier walk schedules?
+
+Two numbers matter for the explorer as a CI gate. **Throughput**
+(interleavings/second): a bounded clean exploration of every registered
+scenario has to fit in a smoke-test budget, so we measure how many
+complete schedules the explorer executes per wall-second, per scenario.
+**Time-to-bug** (schedules to first failure): both seeded historical
+bugs — the recv livelock and the double sync boundary — must be found
+early in the DFS or the gate is theatre; we record exactly how many
+schedules each takes to surface, plus the wall cost of the discovery and
+of the bit-identical replay check.
+
+Emits ``BENCH_explore_coverage.json`` (via ``_harness.emit_json``) so
+explorer throughput and rediscovery depth are tracked commit over commit.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _harness import emit_json, format_table, parse_args  # noqa: E402
+
+from repro.analysis.explore import explore, replay_trace  # noqa: E402
+from repro.analysis.scenarios import get_scenario, scenario_names  # noqa: E402
+
+#: clean-exploration budget per scenario (matches the CI smoke's scale)
+CLEAN_SCHEDULES = 8
+#: budget for the seeded runs; the bugs must surface well inside this
+SEEDED_SCHEDULES = 10
+
+
+def _measure_clean(name: str) -> dict:
+    scenario = get_scenario(name)
+    t0 = time.perf_counter()
+    report = explore(scenario, max_schedules=CLEAN_SCHEDULES)
+    wall = time.perf_counter() - t0
+    assert not report.found_bug, (
+        f"{name}: clean exploration failed — {report.failure.status}"
+    )
+    return {
+        "scenario": name,
+        "schedules": report.schedules,
+        "events_total": report.events_total,
+        "wall_s": round(wall, 4),
+        "interleavings_per_s": round(report.schedules / wall, 2) if wall else None,
+        "events_per_s": round(report.events_total / wall, 1) if wall else None,
+    }
+
+
+def _measure_seeded(name: str) -> dict:
+    scenario = get_scenario(name)
+    t0 = time.perf_counter()
+    report = explore(scenario, seed_bug=True, max_schedules=SEEDED_SCHEDULES)
+    wall = time.perf_counter() - t0
+    assert report.found_bug, f"{name}: seeded bug was not rediscovered"
+    trace = report.failure.to_trace(name, seed_bug=True)
+    t0 = time.perf_counter()
+    replayed = replay_trace(trace)
+    replay_wall = time.perf_counter() - t0
+    assert replayed.fingerprint == report.failure.fingerprint
+    return {
+        "scenario": name,
+        "bug": scenario.bug,
+        "verdict": report.failure.status,
+        "schedules_to_first_bug": report.failure_schedule,
+        "events_to_bug": report.events_total,
+        "discovery_wall_s": round(wall, 4),
+        "replay_wall_s": round(replay_wall, 4),
+    }
+
+
+def bench_clean_allreduce_exploration(benchmark):
+    benchmark(lambda: explore(get_scenario("allreduce"), max_schedules=2))
+
+
+def main() -> None:
+    parse_args(__doc__.splitlines()[0])
+
+    clean_rows = [_measure_clean(name) for name in scenario_names()]
+    print(format_table(
+        ["scenario", "schedules", "events", "wall (s)",
+         "interleavings/s", "events/s"],
+        [[r["scenario"], r["schedules"], r["events_total"], r["wall_s"],
+          r["interleavings_per_s"], r["events_per_s"]] for r in clean_rows],
+        title=f"Clean exploration throughput (budget {CLEAN_SCHEDULES} "
+        "schedules/scenario)",
+    ))
+
+    seeded_rows = [
+        _measure_seeded(name)
+        for name in scenario_names()
+        if get_scenario(name).fault_hooks
+    ]
+    print()
+    print(format_table(
+        ["scenario", "verdict", "schedules to bug", "discovery (s)",
+         "replay (s)"],
+        [[r["scenario"], r["verdict"], r["schedules_to_first_bug"],
+          r["discovery_wall_s"], r["replay_wall_s"]] for r in seeded_rows],
+        title="Seeded-bug rediscovery (both historical elastic bugs)",
+    ))
+
+    total_schedules = sum(r["schedules"] for r in clean_rows)
+    total_wall = sum(r["wall_s"] for r in clean_rows)
+    headline = round(total_schedules / total_wall, 2) if total_wall else None
+    print(f"\nHeadline: {headline} interleavings/s across the clean sweep; "
+          f"worst time-to-bug: "
+          f"{max(r['schedules_to_first_bug'] for r in seeded_rows)} "
+          "schedule(s)")
+
+    emit_json("explore_coverage", {
+        "interleavings_per_s": headline,
+        "clean": clean_rows,
+        "seeded": seeded_rows,
+    })
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,4 @@
-"""Correctness tooling: repo-specific static analysis + runtime sanitizers.
+"""Correctness tooling: static analysis, runtime sanitizers, schedule exploration.
 
 The paper's scalability claims rest on invariants the runtime must never
 silently break: exact, reproducible sampling (seeded RNG streams,
@@ -6,18 +6,28 @@ bit-identical fast paths) and congruent collectives across ranks (every
 rank issues the same allreduce/broadcast sequence, or the world deadlocks).
 jVMC leans on JAX's tracer to catch such misuse at trace time and the MPI
 world has MUST for collective matching; this package is our equivalent,
-two-pronged:
+three-pronged:
 
 - **Static** — :mod:`repro.analysis.lint`: an AST lint engine with a
   pluggable rule registry (:mod:`repro.analysis.rules`: determinism,
-  autograd and distributed hygiene), inline suppressions, and a CLI
-  (``python tools/lint.py src``) that gates CI.
+  autograd and distributed hygiene), an interprocedural pass
+  (:mod:`repro.analysis.callgraph` + :mod:`repro.analysis.dataflow`:
+  project call graph, rank-taint and collective-summary fixpoints),
+  inline suppressions, and a CLI (``python tools/lint.py src``) that
+  gates CI.
 - **Dynamic** — :class:`CommSanitizer` cross-validates a fingerprint of
   every collective across ranks, turning would-be deadlocks into immediate
   :class:`CollectiveMismatchError` diagnostics naming both call sites; and
   :class:`GraphSanitizer` arms the tensor engine with buffer
   version-counter/fingerprint checks (in-place mutation of graph tensors)
   and NaN/Inf first-origin tracking.
+- **Schedules** — :mod:`repro.analysis.explore`: a deterministic
+  interleaving explorer for the threads backend that parks every rank at
+  its communication commit points, searches conflicting schedules
+  DPOR-style, reports deadlock/livelock with waits-for diagnostics, and
+  replays any failing schedule bit-identically from a recorded trace
+  (``python tools/lint.py explore``). Protocol programs live in
+  :mod:`repro.analysis.scenarios`.
 
 See ``docs/static_analysis.md`` for the rule catalogue and usage.
 """
@@ -36,6 +46,7 @@ from repro.analysis.graph_sanitizer import (
 from repro.analysis.lint import (
     Finding,
     LintReport,
+    ProjectRule,
     Rule,
     get_rule,
     iter_rules,
@@ -44,6 +55,8 @@ from repro.analysis.lint import (
     register,
     rule_ids,
 )
+
+from repro.analysis import explore, scenarios
 
 __all__ = [
     "CollectiveMismatchError",
@@ -55,6 +68,7 @@ __all__ = [
     "NonFiniteOrigin",
     "Finding",
     "LintReport",
+    "ProjectRule",
     "Rule",
     "register",
     "get_rule",
@@ -62,4 +76,6 @@ __all__ = [
     "rule_ids",
     "lint_file",
     "lint_paths",
+    "explore",
+    "scenarios",
 ]

@@ -1,0 +1,666 @@
+"""Deterministic schedule explorer for the threads backend.
+
+The static half of :mod:`repro.analysis` proves properties of the *code*;
+this module checks the *protocol*: it takes a multi-rank scenario, runs it
+on :func:`repro.distributed.threads.make_thread_group` with a
+:class:`ScheduleController` attached, and systematically permutes the
+order in which ranks commit their communication operations — message
+enqueue/dequeue, polls, barrier arrivals, and (virtualised) sleeps. The
+two elastic-protocol bugs this repo fixed by chaos testing (the discarded
+-frame recv livelock and the double sync boundary after a JOIN) are both
+*schedule* bugs: they need a particular interleaving to fire, and the
+explorer finds that interleaving deterministically instead of by luck.
+
+Mechanics
+---------
+Every controlled thread is resumed one at a time: it runs until its next
+*commit point*, parks, and the controller picks which parked thread runs
+next. An operation is **enabled** when it can complete now — sends
+always, receives/polls when their queue is non-empty or their (virtual)
+deadline has passed, barrier arrivals when every party is parked at the
+barrier, sleeps when the virtual clock has reached their wake time. The
+virtual clock only advances at quiescence (no thread enabled), jumping to
+the earliest pending deadline; real ``time.monotonic``/``time.sleep`` are
+patched thread-selectively for the duration of a run, so retry backoffs
+and heartbeat timeouts cost nothing and remain exactly reproducible.
+
+- **Deadlock**: no thread enabled and every pending deadline is beyond
+  ``deadlock_horizon`` (only last-resort guards like ``DEFAULT_TIMEOUT``
+  remain) — reported with the waits-for map.
+- **Livelock**: the event budget (``max_steps``) is exhausted — reported
+  with each rank's last operation (the recv-livelock signature: one rank
+  forever re-parking on the same receive while a peer floods it).
+- **Error**: a rank raised (assertion, crossed payloads, escalation the
+  scenario did not expect).
+
+Exploration is a stateless DFS over *choice points* — steps where ≥ 2
+enabled operations conflict (touch the same mailbox channel with at least
+one writer; independent operations never branch, the sleep-set-style
+reduction that keeps the tree tractable). Each run is summarised by a
+SHA-256 fingerprint over its full event log; a trace (choices +
+fingerprint) replays bit-identically via ``tools/lint.py explore
+--replay``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "ScheduleController",
+    "RunResult",
+    "ExploreReport",
+    "ReplayDivergence",
+    "run_schedule",
+    "explore",
+    "replay_trace",
+    "load_trace",
+]
+
+# Captured before any patching so the controller itself always has real
+# time available (wall guards, perf accounting).
+_REAL_MONOTONIC = time.monotonic
+_REAL_SLEEP = time.sleep
+
+_RUNNING, _PARKED, _DONE = "running", "parked", "done"
+
+
+class ExplorerInternalError(RuntimeError):
+    """The explorer itself wedged (a thread failed to park) — a bug in the
+    controller or a scenario doing unmediated blocking, not a protocol
+    finding."""
+
+
+class ReplayDivergence(RuntimeError):
+    """A forced schedule could not be followed — the program under test or
+    the trace changed since the schedule was recorded."""
+
+
+class _Aborted(BaseException):
+    """Raised inside controlled threads to unwind them when a run ends
+    early (deadlock/livelock verdict reached). BaseException so broad
+    ``except Exception`` recovery paths in protocol code cannot eat it."""
+
+
+class _Slot:
+    """Scheduler-side state of one controlled thread."""
+
+    __slots__ = (
+        "rank", "state", "op", "resume", "abort", "error", "tb", "thread"
+    )
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.state = _RUNNING
+        self.op: tuple | None = None
+        self.resume = threading.Event()
+        self.abort = False
+        self.error: BaseException | None = None
+        self.tb: str | None = None
+        self.thread: threading.Thread | None = None
+
+
+def _digest(array) -> str:
+    data = array.tobytes() if hasattr(array, "tobytes") else bytes(array)
+    return hashlib.sha256(data).hexdigest()[:12]
+
+
+@dataclass
+class RunResult:
+    """One fully-scheduled execution of a scenario."""
+
+    status: str  # "ok" | "deadlock" | "livelock" | "error"
+    steps: int
+    events: list[dict]
+    #: choice points: {"step", "chosen", "candidates"}
+    choices: list[dict]
+    fingerprint: str
+    virtual_seconds: float
+    waits_for: dict[int, str] = field(default_factory=dict)
+    errors: dict[int, str] = field(default_factory=dict)
+    detail: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status != "ok"
+
+    def to_trace(self, scenario: str, seed_bug: bool) -> dict:
+        return {
+            "schema": "repro.explore.trace/v1",
+            "scenario": scenario,
+            "seed_bug": seed_bug,
+            "status": self.status,
+            "steps": self.steps,
+            "virtual_seconds": self.virtual_seconds,
+            "choices": self.choices,
+            "schedule": [c["chosen"] for c in self.choices],
+            "fingerprint": self.fingerprint,
+            "waits_for": {str(k): v for k, v in self.waits_for.items()},
+            "errors": {str(k): v for k, v in self.errors.items()},
+            "events": self.events,
+        }
+
+
+class ScheduleController:
+    """Serialises a thread group's commit points under one schedule.
+
+    Commit-point methods (``send_commit`` …) are called by
+    :class:`~repro.distributed.threads.ThreadCommunicator` from the rank
+    threads; :meth:`run` drives the schedule from the caller's thread.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        forced: Sequence[int] | None = None,
+        max_steps: int = 4000,
+        deadlock_horizon: float = 5.0,
+        wall_guard: float = 60.0,
+    ):
+        self.world_size = world_size
+        self.forced = list(forced or [])
+        self.max_steps = max_steps
+        self.deadlock_horizon = deadlock_horizon
+        self.wall_guard = wall_guard
+        self.now = 0.0  # virtual clock
+        self.slots = [_Slot(r) for r in range(world_size)]
+        self.events: list[dict] = []
+        self.choices: list[dict] = []
+        self.failure: dict | None = None
+        self._forced_i = 0
+        self._idents: dict[int, _Slot] = {}
+
+    # -- thread side (commit points) --------------------------------------
+
+    def _park(self, slot: _Slot, op: tuple) -> None:
+        slot.op = op
+        slot.state = _PARKED
+        slot.resume.wait()
+        slot.resume.clear()
+        if slot.abort:
+            raise _Aborted()
+
+    def send_commit(self, rank: int, dest: int, array) -> None:
+        self._park(self.slots[rank], ("send", (dest, rank), _digest(array)))
+
+    def recv_commit(self, rank: int, source: int, q: queue.Queue, timeout: float):
+        slot = self.slots[rank]
+        deadline = self.now + max(timeout, 0.0)
+        while True:
+            self._park(slot, ("recv", (rank, source), deadline))
+            if not q.empty():
+                return q.get_nowait()
+            if self.now >= deadline - 1e-12:
+                raise queue.Empty
+            # Spurious grant (should not happen: grants imply enabledness);
+            # re-park rather than busy-wait.
+
+    def poll_commit(
+        self, rank: int, source: int, q: queue.Queue, timeout: float
+    ) -> bool:
+        deadline = self.now + max(timeout, 0.0)
+        self._park(self.slots[rank], ("poll", (rank, source), deadline))
+        return not q.empty()
+
+    def barrier_commit(self, rank: int, parties: int) -> None:
+        self._park(self.slots[rank], ("barrier", parties))
+
+    # -- virtual time ------------------------------------------------------
+
+    def _virtual_monotonic(self) -> float:
+        if threading.get_ident() in self._idents:
+            return self.now
+        return _REAL_MONOTONIC()
+
+    def _virtual_sleep(self, seconds: float) -> None:
+        slot = self._idents.get(threading.get_ident())
+        if slot is None:
+            _REAL_SLEEP(seconds)
+            return
+        self._park(slot, ("sleep", self.now + max(seconds, 0.0)))
+
+    # -- scheduler side ----------------------------------------------------
+
+    def run(self, fns: Sequence[Callable[[], Any]]) -> None:
+        """Execute one schedule of ``fns`` (one callable per rank)."""
+        if len(fns) != self.world_size:
+            raise ValueError("one callable per rank required")
+
+        def runner(slot: _Slot, fn: Callable[[], Any]) -> None:
+            self._idents[threading.get_ident()] = slot
+            try:
+                # Park immediately so even pre-communication code runs
+                # under the schedule (one thread at a time, from step 0).
+                self._park(slot, ("start",))
+                fn()
+            except _Aborted:
+                pass
+            except BaseException as exc:  # noqa: BLE001 — recorded as verdict
+                slot.error = exc
+                slot.tb = traceback.format_exc()
+            finally:
+                slot.state = _DONE
+
+        threads = []
+        for slot, fn in zip(self.slots, fns):
+            t = threading.Thread(
+                target=runner, args=(slot, fn), daemon=True,
+                name=f"explore-rank{slot.rank}",
+            )
+            slot.thread = t
+            threads.append(t)
+
+        patched = time.monotonic is _REAL_MONOTONIC
+        if patched:
+            time.monotonic = self._virtual_monotonic
+            time.sleep = self._virtual_sleep
+        try:
+            for t in threads:
+                t.start()
+            self._schedule()
+        finally:
+            self._abort_remaining()
+            for t in threads:
+                t.join(timeout=5.0)
+            if patched:
+                time.monotonic = _REAL_MONOTONIC
+                time.sleep = _REAL_SLEEP
+
+    def _await_quiescence(self) -> None:
+        guard = _REAL_MONOTONIC() + self.wall_guard
+        while any(s.state == _RUNNING for s in self.slots):
+            _REAL_SLEEP(0.0002)
+            if _REAL_MONOTONIC() > guard:
+                stuck = [s.rank for s in self.slots if s.state == _RUNNING]
+                raise ExplorerInternalError(
+                    f"ranks {stuck} did not reach a commit point within "
+                    f"{self.wall_guard}s of real time — unmediated blocking "
+                    "call in the scenario?"
+                )
+
+    def _enabled(self, slot: _Slot) -> bool:
+        op = slot.op
+        kind = op[0]
+        if kind in ("start", "send"):
+            return True
+        if kind in ("recv", "poll"):
+            dest, source = op[1]
+            q = self._queue_of(dest, source)
+            if q is not None and not q.empty():
+                return True
+            return self.now >= op[2] - 1e-12
+        if kind == "sleep":
+            return self.now >= op[1] - 1e-12
+        if kind == "barrier":
+            parties = op[1]
+            arrived = sum(
+                1
+                for s in self.slots
+                if s.state == _PARKED and s.op and s.op[0] == "barrier"
+            )
+            return arrived >= parties
+        return False
+
+    def _queue_of(self, dest: int, source: int) -> queue.Queue | None:
+        # The mailbox queue is reachable through any slot's communicator;
+        # the runner threads close over it, the controller only needs
+        # emptiness. Scenarios register it via attach_mailboxes().
+        if self._mailboxes is None:
+            return None
+        return self._mailboxes[dest][source]
+
+    _mailboxes: list[list[queue.Queue]] | None = None
+
+    def attach_mailboxes(self, mailboxes: list[list[queue.Queue]]) -> None:
+        self._mailboxes = mailboxes
+
+    @staticmethod
+    def _channel(op: tuple) -> tuple[int, int] | None:
+        if op[0] in ("send", "recv", "poll"):
+            return op[1]
+        return None
+
+    @classmethod
+    def _conflicts(cls, a: tuple, b: tuple) -> bool:
+        """Two enabled ops conflict when they touch the same mailbox
+        channel and at least one writes it (send vs recv/poll). Everything
+        else commutes: distinct channels, barrier arrivals, sleeps."""
+        ca, cb = cls._channel(a), cls._channel(b)
+        if ca is None or cb is None or ca != cb:
+            return False
+        return (a[0] == "send") != (b[0] == "send")
+
+    def _grant(self, slot: _Slot, step: int) -> None:
+        op = slot.op
+        event = {"step": step, "rank": slot.rank, "op": op[0]}
+        if op[0] in ("send", "recv", "poll"):
+            event["channel"] = list(op[1])
+            if op[0] == "send":
+                event["digest"] = op[2]
+        if op[0] == "sleep":
+            event["until"] = round(op[1], 9)
+        event["now"] = round(self.now, 9)
+        self.events.append(event)
+        slot.state = _RUNNING
+        slot.resume.set()
+
+    def _schedule(self) -> None:
+        step = 0
+        while True:
+            self._await_quiescence()
+            parked = [s for s in self.slots if s.state == _PARKED]
+            if not parked:
+                break  # every rank finished
+            enabled = [s for s in parked if self._enabled(s)]
+            if not enabled:
+                deadlines = [
+                    s.op[2] if s.op[0] in ("recv", "poll") else s.op[1]
+                    for s in parked
+                    if s.op[0] in ("recv", "poll", "sleep")
+                ]
+                if deadlines:
+                    horizon = min(deadlines)
+                    if horizon - self.now <= self.deadlock_horizon + 1e-9:
+                        self.now = max(self.now, horizon)
+                        continue
+                self.failure = {
+                    "kind": "deadlock",
+                    "waits_for": self._waits_for(parked),
+                }
+                return
+            # Barriers release atomically: grant every waiter in rank
+            # order as consecutive events (arrivals commute, no branching).
+            waiters = sorted(
+                (s for s in enabled if s.op[0] == "barrier"),
+                key=lambda s: s.rank,
+            )
+            if waiters:
+                for w in waiters:
+                    self._grant(w, step)
+                    step += 1
+                    self._await_quiescence()
+                if step > self.max_steps:
+                    self._livelock(
+                        [s for s in self.slots if s.state == _PARKED]
+                    )
+                    return
+                continue
+            chosen = self._choose(enabled, step)
+            if chosen is None:
+                return  # replay divergence recorded as failure
+            self._grant(chosen, step)
+            step += 1
+            if step > self.max_steps:
+                self._await_quiescence()
+                self._livelock([s for s in self.slots if s.state == _PARKED])
+                return
+
+    def _choose(self, enabled: list[_Slot], step: int) -> _Slot | None:
+        enabled = sorted(enabled, key=lambda s: s.rank)
+        default = enabled[0]
+        rivals = [
+            s
+            for s in enabled[1:]
+            if self._conflicts(default.op, s.op)
+        ]
+        if not rivals:
+            return default
+        candidates = [default.rank] + [s.rank for s in rivals]
+        if self._forced_i < len(self.forced):
+            want = self.forced[self._forced_i]
+            self._forced_i += 1
+            by_rank = {s.rank: s for s in enabled}
+            if want not in candidates or want not in by_rank:
+                self.failure = {
+                    "kind": "replay-divergence",
+                    "detail": (
+                        f"forced choice #{self._forced_i - 1} wants rank "
+                        f"{want}, but step {step} offers {candidates}"
+                    ),
+                }
+                return None
+            chosen = by_rank[want]
+        else:
+            chosen = default
+        self.choices.append(
+            {"step": step, "chosen": chosen.rank, "candidates": candidates}
+        )
+        return chosen
+
+    def _livelock(self, parked: list[_Slot]) -> None:
+        self.failure = {
+            "kind": "livelock",
+            "waits_for": self._waits_for(parked),
+        }
+
+    @staticmethod
+    def _waits_for(parked: list[_Slot]) -> dict[int, str]:
+        out = {}
+        for s in parked:
+            op = s.op
+            if op[0] in ("recv", "poll"):
+                dest, source = op[1]
+                out[s.rank] = (
+                    f"{op[0]} from rank {source} "
+                    f"(deadline t+{op[2]:.3f}s virtual)"
+                )
+            elif op[0] == "barrier":
+                out[s.rank] = f"barrier ({op[1]} parties)"
+            elif op[0] == "sleep":
+                out[s.rank] = f"sleep until t+{op[1]:.3f}s virtual"
+            else:
+                out[s.rank] = op[0]
+        return out
+
+    def _abort_remaining(self) -> None:
+        for s in self.slots:
+            if s.state != _DONE:
+                s.abort = True
+                s.resume.set()
+
+    # -- result ------------------------------------------------------------
+
+    def result(self) -> RunResult:
+        errors = {
+            s.rank: f"{type(s.error).__name__}: {s.error}"
+            for s in self.slots
+            if s.error is not None
+        }
+        detail = None
+        if self.failure is not None:
+            status = self.failure["kind"]
+            waits = self.failure.get("waits_for", {})
+            detail = self.failure.get("detail")
+        elif errors:
+            status, waits = "error", {}
+        else:
+            status, waits = "ok", {}
+        blob = json.dumps(self.events, sort_keys=True).encode()
+        return RunResult(
+            status=status,
+            steps=len(self.events),
+            events=self.events,
+            choices=self.choices,
+            fingerprint=hashlib.sha256(blob).hexdigest(),
+            virtual_seconds=self.now,
+            waits_for=waits,
+            errors=errors,
+            detail=detail,
+        )
+
+
+# -- driving scenarios ------------------------------------------------------
+
+
+def run_schedule(
+    scenario,
+    forced: Sequence[int] | None = None,
+    seed_bug: bool = False,
+    max_steps: int | None = None,
+) -> RunResult:
+    """Run one schedule of ``scenario`` (a :class:`~repro.analysis
+    .scenarios.Scenario`), optionally with its fault hook seeded."""
+    from repro.distributed.threads import make_thread_group
+
+    controller = ScheduleController(
+        scenario.world_size,
+        forced=forced,
+        max_steps=max_steps or scenario.default_max_steps,
+    )
+    comms = make_thread_group(scenario.world_size, controller)
+    controller.attach_mailboxes(comms[0]._mailboxes)
+    shared: dict = {}
+    fns = [
+        (lambda comm=comms[r], rank=r: scenario.fn(comm, rank, shared))
+        for r in range(scenario.world_size)
+    ]
+    with scenario.seeded(seed_bug):
+        controller.run(fns)
+    result = controller.result()
+    if result.status == "error" and scenario.tolerated_errors:
+        tolerated = tuple(scenario.tolerated_errors)
+        if all(e.startswith(tolerated) for e in result.errors.values()):
+            result.status = "ok"
+    return result
+
+
+@dataclass
+class ExploreReport:
+    """Outcome of a bounded exploration of one scenario."""
+
+    scenario: str
+    seed_bug: bool
+    schedules: int
+    events_total: int
+    wall_seconds: float
+    failure: RunResult | None
+    failure_schedule: int | None  # 1-based index of the failing schedule
+
+    @property
+    def found_bug(self) -> bool:
+        return self.failure is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed_bug": self.seed_bug,
+            "schedules": self.schedules,
+            "events_total": self.events_total,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "interleavings_per_second": round(
+                self.schedules / self.wall_seconds, 3
+            )
+            if self.wall_seconds > 0
+            else None,
+            "failure_schedule": self.failure_schedule,
+            "failure": (
+                {
+                    "status": self.failure.status,
+                    "fingerprint": self.failure.fingerprint,
+                    "waits_for": {
+                        str(k): v for k, v in self.failure.waits_for.items()
+                    },
+                    "errors": {
+                        str(k): v for k, v in self.failure.errors.items()
+                    },
+                }
+                if self.failure
+                else None
+            ),
+        }
+
+
+def explore(
+    scenario,
+    seed_bug: bool = False,
+    max_schedules: int = 25,
+    max_steps: int | None = None,
+    stop_on_failure: bool = True,
+) -> ExploreReport:
+    """Bounded DFS over the scenario's schedule space.
+
+    Starts from the default schedule (lowest enabled rank at every choice
+    point) and branches on conflicting alternatives, sleep-set style: a
+    prefix already executed is never re-queued, and independent operations
+    never create branches.
+    """
+    t0 = _REAL_MONOTONIC()
+    frontier: list[tuple[int, ...]] = [()]
+    seen: set[tuple[int, ...]] = {()}
+    schedules = 0
+    events_total = 0
+    failure: RunResult | None = None
+    failure_at: int | None = None
+    while frontier and schedules < max_schedules:
+        prefix = frontier.pop()
+        result = run_schedule(
+            scenario, forced=list(prefix), seed_bug=seed_bug, max_steps=max_steps
+        )
+        schedules += 1
+        events_total += result.steps
+        if result.failed:
+            failure, failure_at = result, schedules
+            if stop_on_failure:
+                break
+        taken = [c["chosen"] for c in result.choices]
+        for i in range(len(prefix), len(result.choices)):
+            for alt in result.choices[i]["candidates"]:
+                if alt == result.choices[i]["chosen"]:
+                    continue
+                cand = tuple(taken[:i]) + (alt,)
+                if cand not in seen:
+                    seen.add(cand)
+                    frontier.append(cand)
+    return ExploreReport(
+        scenario=scenario.name,
+        seed_bug=seed_bug,
+        schedules=schedules,
+        events_total=events_total,
+        wall_seconds=_REAL_MONOTONIC() - t0,
+        failure=failure,
+        failure_schedule=failure_at,
+    )
+
+
+# -- traces -----------------------------------------------------------------
+
+
+def load_trace(path: str | Path) -> dict:
+    trace = json.loads(Path(path).read_text())
+    if trace.get("schema") != "repro.explore.trace/v1":
+        raise ValueError(f"{path}: not a repro.explore trace")
+    return trace
+
+
+def replay_trace(trace: dict, max_steps: int | None = None) -> RunResult:
+    """Re-execute a recorded schedule and verify it reproduces bit-identically.
+
+    Forces the trace's choice sequence and compares the SHA-256 event-log
+    fingerprint; a mismatch (or an unfollowable choice) raises
+    :class:`ReplayDivergence`.
+    """
+    from repro.analysis.scenarios import get_scenario
+
+    scenario = get_scenario(trace["scenario"])
+    result = run_schedule(
+        scenario,
+        forced=trace["schedule"],
+        seed_bug=bool(trace.get("seed_bug")),
+        max_steps=max_steps,
+    )
+    if result.status == "replay-divergence":
+        raise ReplayDivergence(result.detail or "schedule could not be followed")
+    if result.fingerprint != trace["fingerprint"]:
+        raise ReplayDivergence(
+            f"schedule replayed but event log diverged: "
+            f"{result.fingerprint} != recorded {trace['fingerprint']}"
+        )
+    return result

@@ -26,6 +26,13 @@ method yielding findings. Registration is declarative::
                 ...
                 yield self.finding(ctx, node, "message")
 
+Rules that need to see the *whole program* — call graphs, rank-taint
+flow, cross-function collective sequences — subclass :class:`ProjectRule`
+instead and implement ``check_project(project)``, receiving a
+:class:`repro.analysis.callgraph.Project` built over every linted file in
+one pass. ``lint_file`` runs project rules over a single-file project, so
+per-rule fixtures exercise them exactly like per-file rules.
+
 The built-in catalogue lives in :mod:`repro.analysis.rules` and is loaded
 on first use; external code can register more rules before calling
 :func:`lint_paths`.
@@ -38,6 +45,12 @@ an optional ``--`` justification that reviewers can audit:
 - per-line (trailing comment on the offending line)::
 
     t = time.time()  # repro-lint: disable=det-wall-clock -- log timestamp
+
+  A trailing disable on *any* physical line of a multi-line statement
+  covers findings anchored anywhere in that statement's
+  ``lineno..end_lineno`` range — rules anchor findings at the statement
+  head or at an inner call, and the suppression comment necessarily sits
+  on one physical line of the same statement.
 
 - per-file (a comment on a line of its own, anywhere in the file)::
 
@@ -62,6 +75,7 @@ __all__ = [
     "LintContext",
     "LintReport",
     "Rule",
+    "ProjectRule",
     "register",
     "iter_rules",
     "get_rule",
@@ -111,7 +125,7 @@ class Suppressions:
         return False
 
     @classmethod
-    def parse(cls, source: str) -> "Suppressions":
+    def parse(cls, source: str, tree: ast.AST | None = None) -> "Suppressions":
         file_rules: set[str] = set()
         line_rules: dict[int, set[str]] = {}
         try:
@@ -136,7 +150,38 @@ class Suppressions:
                 line_rules.setdefault(line, set()).update(
                     _split_rules(directive[len("disable="):])
                 )
+        if tree is not None and line_rules:
+            _expand_to_statements(line_rules, tree)
         return cls(file_rules, line_rules)
+
+
+def _expand_to_statements(line_rules: dict[int, set[str]], tree: ast.AST) -> None:
+    """Widen each line suppression to its whole enclosing statement.
+
+    A rule may anchor a finding at a multi-line statement's head (or at an
+    inner call on another physical line), while the suppression comment can
+    only trail *one* physical line of that statement. The smallest
+    statement whose ``lineno..end_lineno`` range contains the comment line
+    is the statement the author pointed at; every line of that range gets
+    the same rule set.
+    """
+    statements = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.stmt) and getattr(node, "end_lineno", None)
+    ]
+    for line, rules in list(line_rules.items()):
+        best: ast.stmt | None = None
+        for stmt in statements:
+            if stmt.lineno <= line <= stmt.end_lineno:
+                if best is None or (stmt.end_lineno - stmt.lineno) < (
+                    best.end_lineno - best.lineno
+                ):
+                    best = stmt
+        if best is None or best.end_lineno == best.lineno:
+            continue
+        for covered in range(best.lineno, best.end_lineno + 1):
+            line_rules.setdefault(covered, set()).update(rules)
 
 
 def _split_rules(spec: str) -> set[str]:
@@ -177,6 +222,32 @@ class Rule:
         return Finding(
             rule_id=self.id,
             path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that analyses the whole linted tree at once.
+
+    ``check_project`` receives a :class:`repro.analysis.callgraph.Project`
+    built from every file of the run (``lint_file`` builds a single-file
+    project, so fixtures work unchanged) and yields findings anchored in
+    any of the project's files; suppressions are applied per file exactly
+    as for per-file rules.
+    """
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        return ()  # project rules only run via check_project
+
+    def check_project(self, project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding_at(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            path=path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
             message=message,
@@ -265,39 +336,81 @@ def _module_name(path: Path) -> str | None:
     return ".".join(mod)
 
 
+def _parse_one(
+    path: Path, source: str | None = None
+) -> tuple[LintContext | None, Suppressions | None, Finding | None]:
+    """Parse one file into a context (or a ``lint-parse`` finding)."""
+    if source is None:
+        source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, None, Finding(
+            rule_id="lint-parse",
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+    ctx = LintContext(
+        path=str(path), source=source, tree=tree, module=_module_name(path)
+    )
+    return ctx, Suppressions.parse(source, tree), None
+
+
+def _run_rules(
+    contexts: Sequence[tuple[LintContext, Suppressions]],
+    rules: Sequence[Rule],
+    report: LintReport,
+) -> None:
+    """Run per-file rules file by file, then project rules over the whole
+    set; route every finding through its file's suppressions."""
+    by_path = {ctx.path: sup for ctx, sup in contexts}
+
+    def deliver(finding: Finding, sup: Suppressions | None) -> None:
+        if sup is not None and sup.covers(finding):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    for ctx, sup in contexts:
+        for rule in file_rules:
+            for finding in rule.check(ctx):
+                deliver(finding, sup)
+    if project_rules:
+        from repro.analysis.callgraph import Project
+
+        project = Project([ctx for ctx, _ in contexts])
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                deliver(finding, by_path.get(finding.path))
+
+
 def lint_file(
     path: str | Path,
     rules: Sequence[Rule] | None = None,
     source: str | None = None,
 ) -> LintReport:
-    """Lint one file; a syntax error becomes a ``lint-parse`` finding."""
+    """Lint one file; a syntax error becomes a ``lint-parse`` finding.
+
+    Project rules see a single-file project, so intra-file instances of
+    interprocedural patterns (helper chains within one module) are still
+    caught — only cross-file edges need :func:`lint_paths`.
+    """
     path = Path(path)
-    if source is None:
-        source = path.read_text()
     report = LintReport(files_scanned=1)
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        report.findings.append(
-            Finding(
-                rule_id="lint-parse",
-                path=str(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        )
+    ctx, suppressions, parse_error = _parse_one(path, source)
+    if parse_error is not None:
+        report.findings.append(parse_error)
         return report
-    ctx = LintContext(
-        path=str(path), source=source, tree=tree, module=_module_name(path)
+    assert ctx is not None and suppressions is not None
+    _run_rules(
+        [(ctx, suppressions)],
+        iter_rules() if rules is None else rules,
+        report,
     )
-    suppressions = Suppressions.parse(source)
-    for rule in (iter_rules() if rules is None else rules):
-        for finding in rule.check(ctx):
-            if suppressions.covers(finding):
-                report.suppressed.append(finding)
-            else:
-                report.findings.append(finding)
     report.sort()
     return report
 
@@ -317,14 +430,26 @@ def lint_paths(
     paths: Sequence[str | Path],
     select: Sequence[str] | None = None,
 ) -> LintReport:
-    """Lint every ``*.py`` under ``paths``; restrict rules with ``select``."""
+    """Lint every ``*.py`` under ``paths``; restrict rules with ``select``.
+
+    All files are parsed before any project rule runs, so interprocedural
+    rules see call edges that cross file boundaries.
+    """
     if select is None:
-        rules: Sequence[Rule] | None = None
+        rules: Sequence[Rule] = iter_rules()
     else:
         rules = [get_rule(rule_id) for rule_id in select]
     report = LintReport()
+    contexts: list[tuple[LintContext, Suppressions]] = []
     for root in paths:
         for path in _iter_python_files(Path(root)):
-            report.merge(lint_file(path, rules=rules))
+            report.files_scanned += 1
+            ctx, sup, parse_error = _parse_one(path)
+            if parse_error is not None:
+                report.findings.append(parse_error)
+                continue
+            assert ctx is not None and sup is not None
+            contexts.append((ctx, sup))
+    _run_rules(contexts, rules, report)
     report.sort()
     return report

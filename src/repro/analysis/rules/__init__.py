@@ -10,6 +10,10 @@ Split by invariant family:
 - :mod:`repro.analysis.rules.distributed` — collective congruence and
   deadlock guards (the failure modes the fault layer can observe but not
   diagnose).
+- :mod:`repro.analysis.rules.interprocedural` — whole-program versions of
+  the distributed guards: rank taint and collective sequences tracked
+  through the project call graph (:mod:`repro.analysis.callgraph` +
+  :mod:`repro.analysis.dataflow`).
 - :mod:`repro.analysis.rules.observability` — span hygiene for
   :mod:`repro.obs` (a leaked ``begin`` silently corrupts trace totals).
 - :mod:`repro.analysis.rules.jit` — tape safety for the step compiler
@@ -20,6 +24,7 @@ from repro.analysis.rules import (  # noqa: F401
     autograd,
     determinism,
     distributed,
+    interprocedural,
     jit,
     observability,
 )

@@ -14,7 +14,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
-from repro.analysis.lint import Finding, LintContext, Rule, register
+from repro.analysis.lint import Finding, LintContext, ProjectRule, Rule, register
 
 #: Communicator methods that are collective (every rank must participate)
 _COLLECTIVES = {"allreduce", "broadcast", "allgather", "reduce", "barrier", "split"}
@@ -94,25 +94,15 @@ def _mentions_epoch(node: ast.AST) -> bool:
     return False
 
 
-def _payload_carries_epoch(call: ast.Call, scope: ast.AST) -> bool:
-    """Does a ``send_ctrl`` call's payload mention an epoch?
-
-    Either directly in the argument expressions, or — when the payload is a
-    bare name — in any assignment to that name within the enclosing scope
-    (the idiom: ``heartbeat = np.array([HB, float(epoch), ...])`` then
-    ``comm.send_ctrl(peer, heartbeat)``).
-    """
-    args = list(call.args) + [kw.value for kw in call.keywords]
-    if any(_mentions_epoch(arg) for arg in args):
-        return True
-    names = {arg.id for arg in args if isinstance(arg, ast.Name)}
+def _names_assigned_from_epoch(names: set[str], scope: ast.AST) -> bool:
+    """Is any of ``names`` assigned from an epoch-mentioning expression
+    within ``scope``? (the heartbeat idiom: payload built once, sent in a
+    loop)."""
     if not names:
         return False
     for sub in ast.walk(scope):
         if isinstance(sub, ast.Assign):
-            targets = [
-                t.id for t in sub.targets if isinstance(t, ast.Name)
-            ]
+            targets = [t.id for t in sub.targets if isinstance(t, ast.Name)]
             if set(targets) & names and _mentions_epoch(sub.value):
                 return True
         elif isinstance(sub, ast.AnnAssign):
@@ -126,43 +116,164 @@ def _payload_carries_epoch(call: ast.Call, scope: ast.AST) -> bool:
     return False
 
 
+def _expr_carries_epoch(expr: ast.AST, scope: ast.AST) -> bool:
+    if _mentions_epoch(expr):
+        return True
+    names = {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+    return _names_assigned_from_epoch(names, scope)
+
+
+def _payload_exprs(call: ast.Call) -> list[ast.AST]:
+    """The payload arguments of a ``send_ctrl`` call: everything after the
+    positional destination rank."""
+    return list(call.args[1:]) + [kw.value for kw in call.keywords]
+
+
+def _payload_carries_epoch(call: ast.Call, scope: ast.AST) -> bool:
+    """Does a ``send_ctrl`` call's payload mention an epoch?
+
+    Either directly in the argument expressions, or — when the payload is a
+    bare name — in any assignment to that name within the enclosing scope
+    (the idiom: ``heartbeat = np.array([HB, float(epoch), ...])`` then
+    ``comm.send_ctrl(peer, heartbeat)``).
+    """
+    args = list(call.args) + [kw.value for kw in call.keywords]
+    if any(_mentions_epoch(arg) for arg in args):
+        return True
+    names = {arg.id for arg in args if isinstance(arg, ast.Name)}
+    return _names_assigned_from_epoch(names, scope)
+
+
+def _params_feeding_expr(expr: ast.AST, fn) -> set[str]:
+    """Parameters of ``fn`` that the expression's value derives from:
+    mentioned directly, or feeding a bare name through one level of local
+    assignment. Used to defer epoch judgement to the call sites."""
+    params = set(fn.params)
+    mentioned = {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+    out = mentioned & params
+    locals_ = mentioned - params
+    if locals_:
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, ast.Assign):
+                targets = {
+                    t.id for t in sub.targets if isinstance(t, ast.Name)
+                }
+                if targets & locals_:
+                    value_names = {
+                        n.id
+                        for n in ast.walk(sub.value)
+                        if isinstance(n, ast.Name)
+                    }
+                    out |= value_names & params
+    return out
+
+
+def _arg_for_param(site, target, param: str) -> ast.AST | None:
+    """The argument expression bound to ``param`` at a resolved call site,
+    or ``None`` when it cannot be mapped (starred args, missing)."""
+    for kw in site.call.keywords:
+        if kw.arg == param:
+            return kw.value
+    params = list(target.params)
+    if target.class_name is not None and params[:1] in (["self"], ["cls"]):
+        decorators = {
+            d.id
+            for d in getattr(target.node, "decorator_list", [])
+            if isinstance(d, ast.Name)
+        }
+        if "staticmethod" not in decorators:
+            params = params[1:]
+    try:
+        index = params.index(param)
+    except ValueError:
+        return None
+    if index < len(site.call.args):
+        arg = site.call.args[index]
+        if isinstance(arg, ast.Starred):
+            return None
+        return arg
+    return None
+
+
+_UNTAGGED_MSG = (
+    ".send_ctrl() payload carries no epoch tag; receivers "
+    "cannot tell this frame from a stale round's — build "
+    "the payload from the current epoch"
+)
+
+
 @register
-class CtrlFrameWithoutEpoch(Rule):
+class CtrlFrameWithoutEpoch(ProjectRule):
     id = "dist-epoch-tag"
     category = "distributed"
     description = (
-        "control-frame send without an epoch tag; an untagged frame cannot "
-        "be discarded as stale by a later detection/join round, which is "
-        "exactly the stale-membership bug class the elastic epoch exists to "
-        "kill — put the epoch in the payload (or in the expression that "
-        "builds it)"
+        "control-frame send without an epoch tag, tracked through call "
+        "chains; an untagged frame cannot be discarded as stale by a later "
+        "detection/join round, which is exactly the stale-membership bug "
+        "class the elastic epoch exists to kill — put the epoch in the "
+        "payload (or in the expression that builds it, at whatever call "
+        "depth the payload originates)"
     )
 
-    def check(self, ctx: LintContext) -> Iterable[Finding]:
-        # Map each send_ctrl call to its innermost enclosing function so
-        # bare-name payloads can be resolved against local assignments.
-        scopes: list[ast.AST] = [ctx.tree]
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                scopes.append(node)
-        seen: set[int] = set()
-        for scope in reversed(scopes):  # inner functions before the module
-            for node in ast.walk(scope):
-                if id(node) in seen or not isinstance(node, ast.Call):
+    def check_project(self, project) -> Iterable[Finding]:
+        from repro.analysis.callgraph import ordered_calls
+
+        # Pass 1: every send_ctrl site. Payloads that locally carry an
+        # epoch are clean; payloads derived from a parameter defer the
+        # judgement to the function's (resolved) call sites; anything else
+        # is flagged where it stands.
+        pending: list[tuple[object, str, tuple[str, ...]]] = []
+        for fn in project.iter_functions():
+            for call in ordered_calls(fn.node):
+                func = call.func
+                if not (
+                    isinstance(func, ast.Attribute) and func.attr == "send_ctrl"
+                ):
                     continue
-                func = node.func
-                if not (isinstance(func, ast.Attribute) and func.attr == "send_ctrl"):
+                if _payload_carries_epoch(call, fn.node):
                     continue
-                seen.add(id(node))
-                if _payload_carries_epoch(node, scope):
+                params: set[str] = set()
+                for expr in _payload_exprs(call):
+                    params |= _params_feeding_expr(expr, fn)
+                if params and not fn.is_module_scope:
+                    for param in sorted(params):
+                        pending.append((fn, param, (fn.name,)))
+                else:
+                    yield self.finding_at(fn.path, call, _UNTAGGED_MSG)
+
+        # Pass 2: walk deferred requirements up the call graph. A caller
+        # satisfying the requirement with an epoch-built argument is clean;
+        # a caller forwarding its own parameter defers again; a caller
+        # passing an epoch-free payload is the bug's origin and gets the
+        # finding. Unresolved/uncalled functions stay silent — resolution
+        # is under-approximate and a missing caller is not evidence.
+        visited: set[tuple[str, str]] = set()
+        while pending:
+            fn, param, chain = pending.pop()
+            if (fn.qualname, param) in visited:
+                continue
+            visited.add((fn.qualname, param))
+            for site in project.callers_of(fn.qualname):
+                arg = _arg_for_param(site, fn, param)
+                if arg is None:
                     continue
-                yield self.finding(
-                    ctx,
-                    node,
-                    ".send_ctrl() payload carries no epoch tag; receivers "
-                    "cannot tell this frame from a stale round's — build "
-                    "the payload from the current epoch",
-                )
+                caller = site.caller
+                if _expr_carries_epoch(arg, caller.node):
+                    continue
+                caller_params = _params_feeding_expr(arg, caller)
+                if caller_params and not caller.is_module_scope:
+                    for cparam in sorted(caller_params):
+                        pending.append((caller, cparam, (caller.name,) + chain))
+                else:
+                    path = " -> ".join((caller.name,) + chain)
+                    yield self.finding_at(
+                        caller.path,
+                        site.call,
+                        f"payload reaches .send_ctrl() via {path} without an "
+                        "epoch tag; receivers cannot tell the frame from a "
+                        "stale round's — build it from the current epoch at "
+                        "this call site",
+                    )
 
 
 @register

@@ -53,6 +53,15 @@ from repro.distributed.comm import (
 
 __all__ = ["RetryPolicy", "ResilientCommunicator", "JOIN_TAG"]
 
+#: Fault hook for the schedule explorer (repro.analysis.explore): setting
+#: this False re-introduces the historical recv livelock — discarded
+#: frames (duplicates, stale JOIN announcements) consume no retry attempt,
+#: so without the overall escalation deadline a peer flooding them keeps
+#: ``_recv_loop`` alive forever without ever delivering data. Production
+#: code must never touch it; the explorer's seeded-bug scenarios flip it
+#: under a finally-guard to prove they can rediscover the bug.
+_DISCARD_DEADLINE = True
+
 #: frame type tags (exact float64 constants, compared bit-exactly)
 _DATA_MAGIC = 1.6180339887e9
 _CTRL_MAGIC = 2.7182818284e9
@@ -393,7 +402,7 @@ class ResilientCommunicator(Communicator):
             out = self._accept(source, kind, seq, payload, raw, had_timeout)
             if out is not None:
                 return out
-            if time.monotonic() >= deadline:
+            if _DISCARD_DEADLINE and time.monotonic() >= deadline:
                 self._escalate(
                     source,
                     attempts + 1,

@@ -75,6 +75,15 @@ __all__ = [
     "TrainingSupervisor",
 ]
 
+#: Fault hook for the schedule explorer (repro.analysis.explore): setting
+#: this False re-introduces the historical double-sync-boundary bug — a
+#: joiner admitted *inside* the survivors' sync boundary would run its own
+#: ``_sync`` allgather while the survivors are already past theirs and
+#: into the step's allreduce, interleaving mismatched collectives on the
+#: grown group. Production code must never touch it; the explorer's
+#: seeded-bug scenarios flip it under a finally-guard.
+_SKIP_SYNC_AFTER_JOIN = True
+
 
 @dataclass
 class ResilientRunReport:
@@ -360,7 +369,7 @@ class TrainingSupervisor:
             # step's collectives — running our own sync now would interleave
             # its allgather with their allreduce. Skip the one boundary the
             # handshake already stood in for.
-            self._skip_sync_once = True
+            self._skip_sync_once = _SKIP_SYNC_AFTER_JOIN
             self.report.rejoined = True
             self.report.joins.append(
                 {

@@ -32,7 +32,14 @@ __all__ = ["ThreadCommunicator", "make_thread_group", "run_threaded"]
 
 
 class ThreadCommunicator(Communicator):
-    """One rank's endpoint of a thread group (see :func:`make_thread_group`)."""
+    """One rank's endpoint of a thread group (see :func:`make_thread_group`).
+
+    When a ``controller`` (see :mod:`repro.analysis.explore`) is attached,
+    every commit point — mailbox put/get, poll, barrier arrival — asks the
+    controller for permission first, which is what lets the schedule
+    explorer serialize and permute the interleaving deterministically. With
+    no controller the hot path is untouched.
+    """
 
     def __init__(
         self,
@@ -40,11 +47,13 @@ class ThreadCommunicator(Communicator):
         size: int,
         mailboxes: list[list["queue.Queue"]],
         barrier: threading.Barrier,
+        controller: "object | None" = None,
     ):
         self._rank = rank
         self._size = size
         self._mailboxes = mailboxes
         self._barrier = barrier
+        self._controller = controller
 
     @property
     def size(self) -> int:
@@ -64,12 +73,20 @@ class ThreadCommunicator(Communicator):
             array = array.view(np.ndarray)  # ownership handed over: no copy
         else:
             array = np.array(array, copy=True)
+        if self._controller is not None:
+            self._controller.send_commit(self._rank, dest, array)
         self._mailboxes[dest][self._rank].put(array)
 
     def recv(self, source: int, timeout: float = DEFAULT_TIMEOUT) -> np.ndarray:
         self._check_peer(source)
+        inbox = self._mailboxes[self._rank][source]
         try:
-            out = self._mailboxes[self._rank][source].get(timeout=timeout)
+            if self._controller is not None:
+                out = self._controller.recv_commit(
+                    self._rank, source, inbox, timeout
+                )
+            else:
+                out = inbox.get(timeout=timeout)
         except queue.Empty:
             raise CommTimeoutError(
                 f"rank {self._rank}: no message from rank {source} "
@@ -81,6 +98,10 @@ class ThreadCommunicator(Communicator):
     def poll(self, source: int, timeout: float = 0.0) -> bool:
         self._check_peer(source)
         inbox = self._mailboxes[self._rank][source]
+        if self._controller is not None:
+            return self._controller.poll_commit(
+                self._rank, source, inbox, timeout
+            )
         if not inbox.empty():
             return True
         if timeout <= 0.0:
@@ -93,20 +114,30 @@ class ThreadCommunicator(Communicator):
         return not inbox.empty()
 
     def barrier(self) -> None:
+        if self._controller is not None:
+            self._controller.barrier_commit(self._rank, self._barrier.parties)
+            return
         self._barrier.wait()
 
 
-def make_thread_group(size: int) -> list[ThreadCommunicator]:
+def make_thread_group(
+    size: int, controller: "object | None" = None
+) -> list[ThreadCommunicator]:
     """Create ``size`` communicators wired into one group.
 
     Intended for tests that drive all ranks from a thread pool (or even a
-    single thread, since sends are eager).
+    single thread, since sends are eager). Passing a ``controller`` routes
+    every commit point through the schedule explorer
+    (:mod:`repro.analysis.explore`).
     """
     if size < 1:
         raise ValueError(f"world size must be >= 1, got {size}")
     mailboxes = [[queue.Queue() for _ in range(size)] for _ in range(size)]
     barrier = threading.Barrier(size)
-    return [ThreadCommunicator(r, size, mailboxes, barrier) for r in range(size)]
+    return [
+        ThreadCommunicator(r, size, mailboxes, barrier, controller)
+        for r in range(size)
+    ]
 
 
 def run_threaded(

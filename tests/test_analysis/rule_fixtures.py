@@ -1,0 +1,124 @@
+"""Canonical positive/negative fixtures, one pair per registered rule.
+
+``FIXTURES[rule_id] = (bad, good)`` — ``bad`` must produce at least one
+finding of exactly that rule, ``good`` must lint clean under it. The
+meta-test in ``test_rule_fixture_coverage.py`` keeps this registry in
+lockstep with the live catalogue: adding a rule without a fixture pair
+(or retiring one and leaving its fixtures behind) fails the suite.
+
+These are *smoke* fixtures — the minimal canonical trigger and its
+minimal fix. Edge-case coverage lives in ``test_lint_rules.py`` and
+``test_dataflow_rules.py``.
+"""
+
+from __future__ import annotations
+
+FIXTURES: dict[str, tuple[str, str]] = {
+    "ag-float-eq": (
+        "def check(x):\n    return compute(x) == 1.5\n",
+        "def check(x):\n    return abs(compute(x) - 1.5) < 1e-9\n",
+    ),
+    "ag-tensor-mutation": (
+        "def init(w):\n    w.data[...] = 0.0\n",
+        "import numpy as np\ndef init(w):\n    w.data = np.zeros(3)\n",
+    ),
+    "det-global-rng": (
+        "import numpy as np\nnp.random.seed(0)\nx = np.random.rand(3)\n",
+        "import numpy as np\nrng = np.random.default_rng(0)\nx = rng.random(3)\n",
+    ),
+    "det-stdlib-random": (
+        "import random\nx = random.random()\n",
+        "import numpy as np\nx = np.random.default_rng(0).random()\n",
+    ),
+    "det-unseeded-rng": (
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        "import numpy as np\nrng = np.random.default_rng(7)\n",
+    ),
+    "det-wall-clock": (
+        "import time\nstamp = time.time()\n",
+        "import time\nstart = time.perf_counter()\n",
+    ),
+    "dist-collective-order": (
+        # arms reach different collective *orders* through helpers
+        "def head(comm, x):\n"
+        "    comm.allreduce(x)\n"
+        "    comm.broadcast(x, root=0)\n"
+        "def tail(comm, x):\n"
+        "    comm.broadcast(x, root=0)\n"
+        "    comm.allreduce(x)\n"
+        "def step(comm, x):\n"
+        "    if comm.rank == 0:\n"
+        "        head(comm, x)\n"
+        "    else:\n"
+        "        tail(comm, x)\n",
+        "def head(comm, x):\n"
+        "    comm.allreduce(x)\n"
+        "    comm.broadcast(x, root=0)\n"
+        "def step(comm, x):\n"
+        "    if comm.rank == 0:\n"
+        "        head(comm, x)\n"
+        "    else:\n"
+        "        head(comm, x)\n",
+    ),
+    "dist-epoch-tag": (
+        "import numpy as np\n"
+        "def ping(comm, peer):\n"
+        "    comm.send_ctrl(peer, np.array([1.0, 2.0]))\n",
+        "import numpy as np\n"
+        "def ping(comm, peer, epoch):\n"
+        "    comm.send_ctrl(peer, np.array([1.0, float(epoch)]))\n",
+    ),
+    "dist-rank-collective": (
+        "def step(comm, x):\n"
+        "    if comm.rank == 0:\n"
+        "        comm.allreduce(x)\n",
+        "def step(comm, x):\n"
+        "    out = comm.allreduce(x)\n"
+        "    if comm.rank == 0:\n"
+        "        print(out)\n",
+    ),
+    "dist-rank-divergent-collective": (
+        # the issue's acceptance shape: two call levels under a rank branch
+        "def deep(comm, x):\n"
+        "    comm.allreduce(x)\n"
+        "def helper(comm, x):\n"
+        "    deep(comm, x)\n"
+        "def step(comm, x):\n"
+        "    rank = comm.rank\n"
+        "    if rank == 0:\n"
+        "        helper(comm, x)\n",
+        "def deep(comm, x):\n"
+        "    comm.allreduce(x)\n"
+        "def helper(comm, x):\n"
+        "    deep(comm, x)\n"
+        "def step(comm, x):\n"
+        "    rank = comm.rank\n"
+        "    if rank == 0:\n"
+        "        helper(comm, x)\n"
+        "    else:\n"
+        "        deep(comm, x)\n",
+    ),
+    "dist-recv-timeout": (
+        "def pull(comm):\n    return comm.recv(0)\n",
+        "def pull(comm):\n    return comm.recv(0, timeout=5.0)\n",
+    ),
+    "jit-tape-unsafe": (
+        "class Model:\n"
+        "    def forward(self, x):\n"
+        "        if x > 0:\n"
+        "            return x\n"
+        "        return -x\n",
+        "class Model:\n"
+        "    def forward(self, x):\n"
+        "        return x * 2\n",
+    ),
+    "obs-span-leak": (
+        "def timed(tracer, work):\n"
+        "    span = tracer.begin('phase')\n"
+        "    work()\n"
+        "    tracer.end(span)\n",
+        "def timed(tracer, work):\n"
+        "    with tracer.span('phase'):\n"
+        "        work()\n",
+    ),
+}

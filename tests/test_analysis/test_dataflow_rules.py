@@ -1,0 +1,244 @@
+"""Interprocedural rule coverage: the dataflow-lifted distributed rules.
+
+The acceptance fixture from the verifier issue lives here: a collective
+guarded by ``if rank == 0`` but reached through **two** call levels must
+be flagged by ``dist-rank-divergent-collective`` with a witness chain,
+while congruent both-arm protocols stay clean.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lint_paths
+from repro.analysis.lint import get_rule, lint_file
+
+pytestmark = pytest.mark.analysis
+
+
+def run_rules(tmp_path, rule_ids, files: dict[str, str]):
+    """Lint ``files`` (path -> source) with only ``rule_ids`` active."""
+    root = tmp_path / "proj"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return lint_paths([root], select=list(rule_ids))
+
+
+def run_rule(tmp_path, rule_id, source):
+    path = tmp_path / "repro" / "models" / "mod.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_file(path, rules=[get_rule(rule_id)])
+
+
+class TestRankDivergentCollective:
+    def test_acceptance_two_call_levels(self, tmp_path):
+        # The issue's acceptance criterion: `if rank == 0: allreduce`
+        # hidden behind two calls is found, with the chain in the message.
+        report = run_rule(
+            tmp_path,
+            "dist-rank-divergent-collective",
+            "def deep(comm, x):\n"
+            "    comm.allreduce(x)\n"
+            "def helper(comm, x):\n"
+            "    deep(comm, x)\n"
+            "def step(comm, x):\n"
+            "    rank = comm.rank\n"
+            "    if rank == 0:\n"
+            "        helper(comm, x)\n",
+        )
+        assert [f.rule_id for f in report.findings] == [
+            "dist-rank-divergent-collective"
+        ]
+        msg = report.findings[0].message
+        assert "helper -> deep -> .allreduce()" in msg
+
+    def test_cross_file_chain(self, tmp_path):
+        report = run_rules(
+            tmp_path,
+            ["dist-rank-divergent-collective"],
+            {
+                "repro/lib.py": (
+                    "def sync(comm, x):\n"
+                    "    comm.barrier()\n"
+                ),
+                "repro/main.py": (
+                    "from repro.lib import sync\n"
+                    "def step(comm, x):\n"
+                    "    if comm.rank == 0:\n"
+                    "        sync(comm, x)\n"
+                ),
+            },
+        )
+        assert len(report.findings) == 1
+        assert "sync -> .barrier()" in report.findings[0].message
+        assert report.findings[0].path.endswith("main.py")
+
+    def test_taint_through_returned_rank(self, tmp_path):
+        report = run_rule(
+            tmp_path,
+            "dist-rank-divergent-collective",
+            "def who_am_i(comm):\n"
+            "    return comm.rank\n"
+            "def go(comm, x):\n"
+            "    me = who_am_i(comm)\n"
+            "    if me == 0:\n"
+            "        helper(comm, x)\n"
+            "def helper(comm, x):\n"
+            "    comm.allreduce(x)\n",
+        )
+        assert len(report.findings) == 1
+
+    def test_congruent_arms_stay_clean(self, tmp_path):
+        report = run_rule(
+            tmp_path,
+            "dist-rank-divergent-collective",
+            "def deep(comm, x):\n"
+            "    comm.allreduce(x)\n"
+            "def helper(comm, x):\n"
+            "    deep(comm, x)\n"
+            "def step(comm, x):\n"
+            "    if comm.rank == 0:\n"
+            "        helper(comm, x)\n"
+            "    else:\n"
+            "        deep(comm, x)\n",
+        )
+        assert report.ok, [f.format() for f in report.findings]
+
+    def test_rank_free_branch_stays_clean(self, tmp_path):
+        report = run_rule(
+            tmp_path,
+            "dist-rank-divergent-collective",
+            "def helper(comm, x):\n"
+            "    comm.allreduce(x)\n"
+            "def step(comm, x, warmup):\n"
+            "    if warmup:\n"
+            "        helper(comm, x)\n",
+        )
+        assert report.ok
+
+    def test_while_on_rank_with_collective_chain(self, tmp_path):
+        report = run_rule(
+            tmp_path,
+            "dist-rank-divergent-collective",
+            "def pump(comm, x):\n"
+            "    comm.allgather(x)\n"
+            "def drain(comm, x):\n"
+            "    while comm.rank < 2:\n"
+            "        pump(comm, x)\n",
+        )
+        assert len(report.findings) == 1
+
+    def test_lexically_direct_site_left_to_syntactic_rule(self, tmp_path):
+        # `if rank == 0: comm.allreduce(x)` is dist-rank-collective's beat;
+        # the interprocedural rule must not double-report it.
+        source = (
+            "def step(comm, x):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.allreduce(x)\n"
+        )
+        deep = run_rule(tmp_path, "dist-rank-divergent-collective", source)
+        assert deep.ok
+        syntactic = run_rule(tmp_path, "dist-rank-collective", source)
+        assert len(syntactic.findings) == 1
+
+
+class TestCollectiveOrderDivergence:
+    def test_reordered_arms_flagged_once_at_branch(self, tmp_path):
+        report = run_rule(
+            tmp_path,
+            "dist-collective-order",
+            "def head(comm, x):\n"
+            "    comm.allreduce(x)\n"
+            "    comm.broadcast(x, root=0)\n"
+            "def tail(comm, x):\n"
+            "    comm.broadcast(x, root=0)\n"
+            "    comm.allreduce(x)\n"
+            "def step(comm, x):\n"
+            "    if comm.rank == 0:\n"
+            "        head(comm, x)\n"
+            "    else:\n"
+            "        tail(comm, x)\n",
+        )
+        assert [f.rule_id for f in report.findings] == ["dist-collective-order"]
+        assert "allreduce" in report.findings[0].message
+        assert "broadcast" in report.findings[0].message
+
+    def test_same_sequence_via_different_chains_clean(self, tmp_path):
+        report = run_rule(
+            tmp_path,
+            "dist-collective-order",
+            "def direct(comm, x):\n"
+            "    comm.allreduce(x)\n"
+            "    comm.barrier()\n"
+            "def via(comm, x):\n"
+            "    inner(comm, x)\n"
+            "def inner(comm, x):\n"
+            "    comm.allreduce(x)\n"
+            "    comm.barrier()\n"
+            "def step(comm, x):\n"
+            "    if comm.rank == 0:\n"
+            "        direct(comm, x)\n"
+            "    else:\n"
+            "        via(comm, x)\n",
+        )
+        assert report.ok, [f.format() for f in report.findings]
+
+
+class TestEpochTagInterprocedural:
+    def test_untagged_payload_through_relay(self, tmp_path):
+        report = run_rule(
+            tmp_path,
+            "dist-epoch-tag",
+            "import numpy as np\n"
+            "def relay(comm, peer, frame):\n"
+            "    comm.send_ctrl(peer, frame)\n"
+            "def bad(comm, peer):\n"
+            "    relay(comm, peer, np.array([1.0, 2.0]))\n",
+        )
+        assert len(report.findings) == 1
+        assert "relay" in report.findings[0].message
+
+    def test_epoch_arg_through_relay_clean(self, tmp_path):
+        report = run_rule(
+            tmp_path,
+            "dist-epoch-tag",
+            "import numpy as np\n"
+            "def relay(comm, peer, frame):\n"
+            "    comm.send_ctrl(peer, frame)\n"
+            "def good(comm, peer, epoch):\n"
+            "    relay(comm, peer, np.array([1.0, float(epoch)]))\n",
+        )
+        assert report.ok, [f.format() for f in report.findings]
+
+    def test_unresolved_caller_stays_silent(self, tmp_path):
+        # A parameter-derived payload with no resolvable caller cannot be
+        # judged; the under-approximation must stay silent, not guess.
+        report = run_rule(
+            tmp_path,
+            "dist-epoch-tag",
+            "def forward(comm, peer, frame):\n"
+            "    comm.send_ctrl(peer, frame)\n",
+        )
+        assert report.ok
+
+
+class TestSingleFileProjectParity:
+    def test_lint_file_runs_project_rules(self, tmp_path):
+        # lint_file builds a one-file project, so fixtures and ad-hoc CLI
+        # runs see the same interprocedural findings as lint_paths.
+        path = tmp_path / "repro" / "solo.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "def deep(comm, x):\n"
+            "    comm.allreduce(x)\n"
+            "def step(comm, x):\n"
+            "    if comm.rank == 0:\n"
+            "        deep(comm, x)\n"
+        )
+        report = lint_file(
+            path, rules=[get_rule("dist-rank-divergent-collective")]
+        )
+        assert len(report.findings) == 1

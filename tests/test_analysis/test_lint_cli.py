@@ -108,3 +108,97 @@ class TestJsonOutput:
         proc = run_cli("--json", "--select", "det-wall-clock", str(bad_tree))
         payload = json.loads(proc.stdout)
         assert {f["rule"] for f in payload["findings"]} == {"det-wall-clock"}
+
+    def test_format_json_equals_json_flag(self, bad_tree):
+        legacy = run_cli("--json", str(bad_tree))
+        modern = run_cli("--format", "json", str(bad_tree))
+        assert legacy.stdout == modern.stdout
+        assert legacy.returncode == modern.returncode == 1
+
+
+class TestSarifOutput:
+    def test_sarif_envelope_and_results(self, bad_tree):
+        proc = run_cli("--format", "sarif", str(bad_tree))
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "det-wall-clock" in rule_ids
+        assert "dist-rank-divergent-collective" in rule_ids
+        results = run["results"]
+        assert {r["ruleId"] for r in results} == {
+            "det-stdlib-random",
+            "det-wall-clock",
+        }
+        loc = results[0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("bad.py")
+        assert loc["region"]["startLine"] >= 1
+        assert loc["region"]["startColumn"] >= 1  # SARIF columns are 1-based
+
+    def test_sarif_marks_suppressed_results(self, tmp_path):
+        (tmp_path / "m.py").write_text(
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=det-wall-clock -- stamp\n"
+        )
+        proc = run_cli("--format", "sarif", str(tmp_path))
+        assert proc.returncode == 0
+        results = json.loads(proc.stdout)["runs"][0]["results"]
+        assert len(results) == 1
+        assert results[0]["suppressions"] == [{"kind": "inSource"}]
+
+
+class TestGithubOutput:
+    def test_workflow_command_lines(self, bad_tree):
+        proc = run_cli("--format", "github", str(bad_tree))
+        assert proc.returncode == 1
+        lines = [l for l in proc.stdout.splitlines() if l]
+        assert len(lines) == 2
+        assert all(l.startswith("::error file=") for l in lines)
+        assert any("title=det-wall-clock" in l and "line=3" in l for l in lines)
+
+    def test_clean_tree_emits_nothing(self, clean_tree):
+        proc = run_cli("--format", "github", str(clean_tree))
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == ""
+
+
+class TestExploreSubcommand:
+    def test_list_scenarios(self):
+        proc = run_cli("explore", "--list-scenarios")
+        assert proc.returncode == 0
+        for name in ("allreduce", "shrink", "recv-livelock", "grow-double-sync"):
+            assert name in proc.stdout
+
+    def test_unknown_scenario_exits_two(self):
+        proc = run_cli("explore", "--scenario", "no-such-scenario")
+        assert proc.returncode == 2
+        assert "unknown scenario" in proc.stderr
+
+    def test_seeded_bug_trace_and_replay_roundtrip(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        proc = run_cli(
+            "explore",
+            "--scenario",
+            "recv-livelock",
+            "--seed-bug",
+            "--schedules",
+            "4",
+            "--trace-out",
+            str(trace),
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "livelock" in proc.stdout
+        assert trace.exists()
+        replay = run_cli("explore", "--replay", str(trace))
+        assert replay.returncode == 0, replay.stdout + replay.stderr
+        assert "bit-identically" in replay.stdout
+
+    def test_clean_scenario_exits_zero(self):
+        proc = run_cli(
+            "explore", "--scenario", "allreduce", "--schedules", "3", "--json"
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload[0]["scenario"] == "allreduce"
+        assert payload[0]["failure"] is None

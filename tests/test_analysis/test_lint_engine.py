@@ -29,6 +29,9 @@ EXPECTED_RULES = {
     "ag-float-eq",
     "dist-rank-collective",
     "dist-recv-timeout",
+    "dist-rank-divergent-collective",
+    "dist-collective-order",
+    "dist-epoch-tag",
 }
 
 
@@ -83,6 +86,37 @@ class TestSuppressions:
         src = "x = 1  # repro-lint: disable=det-wall-clock -- because det-global-rng\n"
         sup = Suppressions.parse(src)
         assert not sup.covers(Finding("det-global-rng", "f.py", 1, 0, "m"))
+
+    def test_multiline_statement_covered_from_any_line(self):
+        # Regression: a disable comment on *any* physical line of a
+        # multi-line statement covers the whole statement — findings anchor
+        # at the expression's first line, which is where the comment often
+        # cannot go (black puts the closing paren on its own line).
+        import ast
+
+        src = (
+            "import time\n"
+            "stamp = time.time(\n"
+            ")  # repro-lint: disable=det-wall-clock -- provenance stamp\n"
+        )
+        sup = Suppressions.parse(src, ast.parse(src))
+        assert sup.covers(Finding("det-wall-clock", "f.py", 2, 8, "m"))
+        assert sup.covers(Finding("det-wall-clock", "f.py", 3, 0, "m"))
+        assert not sup.covers(Finding("det-wall-clock", "f.py", 1, 0, "m"))
+
+    def test_multiline_suppression_end_to_end(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import numpy as np\n"
+            "def ping(comm, peer):\n"
+            "    comm.send_ctrl(\n"
+            "        peer,\n"
+            "        np.array([1.0, 2.0]),\n"
+            "    )  # repro-lint: disable=dist-epoch-tag -- pre-epoch bootstrap frame\n"
+        )
+        report = lint_file(path)
+        assert report.ok, [f.format() for f in report.findings]
+        assert [f.rule_id for f in report.suppressed] == ["dist-epoch-tag"]
 
     def test_suppressed_findings_still_reported(self, tmp_path):
         path = tmp_path / "mod.py"

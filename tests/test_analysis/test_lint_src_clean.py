@@ -1,9 +1,9 @@
-"""Tier-1 gate: the shipped source tree must lint clean.
+"""Tier-1 gate: the shipped trees must lint clean.
 
-This is the in-process twin of ``python tools/lint.py src`` — plain pytest
-enforces the same invariant CI does, and a failure prints the exact
-``path:line:col rule-id message`` lines to fix (or suppress with a
-justification, see docs/static_analysis.md).
+This is the in-process twin of ``python tools/lint.py src tools
+benchmarks`` — plain pytest enforces the same invariant CI does, and a
+failure prints the exact ``path:line:col rule-id message`` lines to fix
+(or suppress with a justification, see docs/static_analysis.md).
 """
 
 from __future__ import annotations
@@ -16,7 +16,9 @@ from repro.analysis import lint_paths
 
 pytestmark = pytest.mark.analysis
 
-SRC = Path(__file__).resolve().parents[2] / "src"
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+GATED_TREES = (SRC, REPO / "tools", REPO / "benchmarks")
 
 
 def test_src_tree_lints_clean():
@@ -27,19 +29,29 @@ def test_src_tree_lints_clean():
     )
 
 
+def test_tools_and_benchmarks_lint_clean():
+    report = lint_paths([REPO / "tools", REPO / "benchmarks"])
+    assert report.files_scanned > 10, "lint walked an unexpectedly small tree"
+    assert report.ok, "lint findings in tools//benchmarks/:\n" + "\n".join(
+        f.format() for f in report.findings
+    )
+
+
 def test_suppressions_in_src_are_audited():
     # Suppressed findings stay visible in the report: a rule being silenced
     # cannot disappear without trace. Guard against suppression creep by
     # requiring every suppression to carry a justification.
-    report = lint_paths([SRC])
+    report = lint_paths(list(GATED_TREES))
     for finding in report.suppressed:
         source = Path(finding.path).read_text().splitlines()
         file_text = "\n".join(source)
         assert "repro-lint:" in file_text
-    # Every suppression comment in src/ must have a `--` justification.
-    for path in SRC.rglob("*.py"):
-        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-            if "# repro-lint:" in line:
-                assert "--" in line.split("# repro-lint:", 1)[1], (
-                    f"{path}:{lineno} suppression without justification"
-                )
+    # Every suppression comment in the gated trees must have a `--`
+    # justification.
+    for tree in GATED_TREES:
+        for path in tree.rglob("*.py"):
+            for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+                if "# repro-lint:" in line:
+                    assert "--" in line.split("# repro-lint:", 1)[1], (
+                        f"{path}:{lineno} suppression without justification"
+                    )

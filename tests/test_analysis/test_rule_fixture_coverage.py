@@ -1,0 +1,57 @@
+"""Meta-test: the fixture registry tracks the rule catalogue exactly.
+
+Every registered rule id must have one positive (flags) and one negative
+(clean) fixture in ``rule_fixtures.FIXTURES`` — so no rule can ship
+without demonstrating both that it fires and that its recommended fix
+silences it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import iter_rules
+from repro.analysis.lint import get_rule, lint_file
+
+from .rule_fixtures import FIXTURES
+
+pytestmark = pytest.mark.analysis
+
+
+def _lint(tmp_path, rule_id: str, source: str):
+    # repro/models/ is outside every rule's module whitelist, so fixtures
+    # exercise each rule's default behaviour.
+    path = tmp_path / "repro" / "models" / "fixture.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_file(path, rules=[get_rule(rule_id)])
+
+
+def test_registry_matches_catalogue_exactly():
+    registered = {rule.id for rule in iter_rules()}
+    missing = registered - set(FIXTURES)
+    stale = set(FIXTURES) - registered
+    assert not missing, f"rules without fixtures: {sorted(missing)}"
+    assert not stale, f"fixtures for unregistered rules: {sorted(stale)}"
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_positive_fixture_flags(rule_id, tmp_path):
+    bad, _good = FIXTURES[rule_id]
+    report = _lint(tmp_path, rule_id, bad)
+    hits = [f for f in report.findings if f.rule_id == rule_id]
+    assert hits, f"{rule_id}: positive fixture produced no finding"
+    assert all(f.rule_id == rule_id for f in report.findings), (
+        f"{rule_id}: stray findings "
+        f"{[f.format() for f in report.findings if f.rule_id != rule_id]}"
+    )
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_negative_fixture_clean(rule_id, tmp_path):
+    _bad, good = FIXTURES[rule_id]
+    report = _lint(tmp_path, rule_id, good)
+    assert report.ok, (
+        f"{rule_id}: negative fixture not clean: "
+        f"{[f.format() for f in report.findings]}"
+    )
