@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import subprocess
 import time
 from pathlib import Path
 
@@ -50,11 +51,32 @@ __all__ = [
     "format_table",
     "mean_std",
     "emit_json",
+    "read_bench_json",
+    "BENCH_SCHEMA_VERSION",
 ]
+
+#: envelope schema: v2 added git_sha + hostname provenance stamps
+BENCH_SCHEMA_VERSION = 2
 
 PAPER_DIMS = (20, 50, 100, 200, 500)
 
 OUT_DIR = Path(__file__).parent / "out"
+
+
+def _git_sha() -> str | None:
+    """Short commit SHA of the working tree, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 def emit_json(name: str, payload: dict, out_dir: Path | str | None = None) -> Path:
@@ -65,22 +87,45 @@ def emit_json(name: str, payload: dict, out_dir: Path | str | None = None) -> Pa
     throughput, training time) can be tracked commit over commit instead of
     parsed out of formatted tables. ``payload`` carries the
     benchmark-specific fields (typically a ``results`` row list); the
-    envelope adds provenance.
+    envelope adds provenance: schema version, wall timestamp, interpreter
+    and numpy versions, and — since schema v2 — the git SHA and hostname,
+    so ``tools/bench_track.py`` can attribute every trajectory point to a
+    commit and a machine.
     """
     out = Path(out_dir) if out_dir is not None else OUT_DIR
     out.mkdir(parents=True, exist_ok=True)
     doc = {
         "benchmark": name,
-        "schema_version": 1,
+        "schema_version": BENCH_SCHEMA_VERSION,
         "unix_time": round(time.time(), 3),  # repro-lint: disable=det-wall-clock -- provenance timestamp in the output envelope, never an input to any computation
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "git_sha": _git_sha(),
+        "hostname": platform.node(),
         **payload,
     }
     path = out / f"BENCH_{name}.json"
     path.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"[json] wrote {path}")
     return path
+
+
+def read_bench_json(path: str | Path) -> dict:
+    """Load a ``BENCH_*.json`` envelope, backfilling pre-v2 files.
+
+    The committed corpus still contains schema-v1 documents (no
+    ``git_sha`` / ``hostname``); those keys are normalised to ``None`` so
+    readers (the bench observatory, tests) never need per-version paths.
+    """
+    path = Path(path)
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: not a benchmark envelope")
+    doc.setdefault("benchmark", path.stem.removeprefix("BENCH_"))
+    doc.setdefault("schema_version", 1)
+    doc.setdefault("git_sha", None)
+    doc.setdefault("hostname", None)
+    return doc
 
 
 def parse_args(description: str) -> argparse.Namespace:

@@ -80,6 +80,13 @@ def save_checkpoint(vqmc: VQMC, path: str | Path) -> None:
             "rng_state": vqmc.rng.bit_generator.state,
             "model_class": type(vqmc.model).__name__,
         }
+        # A HealthMonitor registers itself as vqmc.health on run begin; its
+        # report rides in the header so a restored run knows how healthy its
+        # source was. Absent/reportless monitors leave the header unchanged
+        # (old checkpoints stay byte-identical in shape).
+        health = getattr(vqmc, "health", None)
+        if health is not None and hasattr(health, "report"):
+            header["health"] = health.report()
         buf = io.BytesIO()
         pickle.dump(header, buf)
         header_bytes = buf.getvalue()

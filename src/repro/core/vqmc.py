@@ -17,6 +17,7 @@ update — keeping the replicas in lock-step without ever exchanging samples.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -420,7 +421,10 @@ class VQMC:
         ``on_run_end`` is delivered from a ``finally`` block, so sinks like
         :class:`~repro.utils.runlog.RunLogger` and
         :class:`~repro.obs.ObsCallback` write their footer (and flush to
-        disk) even when a step or callback raises mid-run.
+        disk) even when a step or callback raises mid-run. When the run is
+        dying on an exception, callbacks that define ``on_crash(vqmc, exc)``
+        (e.g. :class:`~repro.obs.flight.FlightRecorder`) are notified first,
+        so black-box dumps happen before footers are written.
         """
         if iterations < 0:
             raise ValueError(f"iterations must be >= 0, got {iterations}")
@@ -436,6 +440,12 @@ class VQMC:
         except StopTraining:
             pass
         finally:
+            exc = sys.exc_info()[1]
+            if exc is not None and not isinstance(exc, StopTraining):
+                for cb in callbacks:
+                    on_crash = getattr(cb, "on_crash", None)
+                    if on_crash is not None:
+                        on_crash(self, exc)
             for cb in callbacks:
                 cb.on_run_end(self)
         return results

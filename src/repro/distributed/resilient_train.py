@@ -48,6 +48,7 @@ from repro.distributed.supervisor import (
     ScalingPolicy,
     TrainingSupervisor,
 )
+from repro.obs.flight import FlightRecorder
 
 __all__ = ["ResilientRunReport", "train_resilient"]
 
@@ -69,6 +70,7 @@ def train_resilient(
     accept_joins: bool = False,
     sync_every: int = 1,
     rejoin_seed: int = 0,
+    flight_dir: str | Path | None = None,
 ) -> ResilientRunReport:
     """Train ``vqmc`` for ``iterations`` total steps, surviving rank failures.
 
@@ -97,7 +99,20 @@ def train_resilient(
         :class:`~repro.distributed.supervisor.TrainingSupervisor`. The
         defaults (no ledger, no join polling) reproduce the PR-2
         shrink-only behaviour bit-exactly.
+    flight_dir:
+        Convenience: when set (and no
+        :class:`~repro.obs.flight.FlightRecorder` is already among
+        ``callbacks``), a recorder writing ``flight.rankNNN.json`` black
+        boxes into this directory is appended, so every rank failure,
+        eviction, or injected crash leaves a post-mortem dump without any
+        explicit wiring. Read the dumps with ``python tools/monitor.py``.
     """
+    callbacks = list(callbacks)
+    if flight_dir is not None and not any(
+        isinstance(cb, FlightRecorder) for cb in callbacks
+    ):
+        rank = getattr(getattr(vqmc, "comm", None), "rank", None)
+        callbacks.append(FlightRecorder(flight_dir, rank=rank))
     supervisor = TrainingSupervisor(
         vqmc,
         checkpoint_dir=checkpoint_dir,

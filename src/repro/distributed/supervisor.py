@@ -39,7 +39,12 @@ Observability: the supervisor emits ``elastic.*`` spans (``sync`` /
 (``elastic.shrinks`` / ``grows`` / ``rebalances`` / ``join_requests`` /
 ``policy_grow_hints`` / ``policy_shrink_hints``) and gauges
 (``elastic.world_size`` / ``elastic.epoch``) on the trainer's tracer and
-metrics registry — see ``docs/observability.md``.
+metrics registry — see ``docs/observability.md``. A
+:class:`~repro.obs.flight.FlightRecorder` passed among the callbacks is
+treated as the run's black box: every shrink/grow/rejoin is noted on it
+with epoch tags, and it is dumped on rank failure, eviction, and injected
+crashes (so each surviving rank leaves a ``flight.rankNNN.json`` naming
+the failed ranks and the agreed restore step).
 """
 
 from __future__ import annotations
@@ -64,6 +69,7 @@ from repro.distributed.elastic import (
 )
 from repro.distributed.faults import InjectedRankCrash
 from repro.distributed.ledger import BatchLedger
+from repro.obs.flight import FlightRecorder
 from repro.obs.tracer import NULL_TRACER
 
 __all__ = [
@@ -266,6 +272,12 @@ class TrainingSupervisor:
         self.shrinks = 0
         self.tracer = getattr(vqmc, "tracer", None) or NULL_TRACER
         self.metrics = getattr(vqmc, "metrics", None)
+        # A FlightRecorder among the callbacks becomes the run's black box:
+        # the supervisor notes every membership change on it (epoch-tagged)
+        # and dumps it on rank failure, eviction, and injected crashes.
+        self.flight = next(
+            (cb for cb in self.callbacks if isinstance(cb, FlightRecorder)), None
+        )
         self._observed_joiners: set[int] = set()
         self._skip_sync_once = False
         self._reset_cost_window()
@@ -280,6 +292,14 @@ class TrainingSupervisor:
         if self.metrics is not None:
             self.metrics.gauge("elastic.world_size").set(float(len(self.group)))
             self.metrics.gauge("elastic.epoch").set(float(self.epoch))
+
+    def _flight_event(self, kind: str, **info) -> None:
+        if self.flight is not None:
+            self.flight.note_event(kind, epoch=self.epoch, **info)
+
+    def _flight_dump(self, reason: str) -> None:
+        if self.flight is not None:
+            self.flight.dump(reason=reason)
 
     # -- cost window ---------------------------------------------------------
 
@@ -381,6 +401,7 @@ class TrainingSupervisor:
                 }
             )
             self._gauge_world()
+            self._flight_event("rejoin", group=list(self.group))
         for cb in self.callbacks:
             cb.on_run_begin(vqmc)
         outcome = self._loop(iterations, batch_size)
@@ -407,9 +428,13 @@ class TrainingSupervisor:
                     cb.on_step(result.step, result)
             except StopTraining:
                 break
-            except InjectedRankCrash:
+            except InjectedRankCrash as exc:
                 # Process death: fall silent immediately (no on_run_end, no
                 # further communication) and let the survivors detect it.
+                # Local disk is not communication — the dying rank still
+                # leaves its black box.
+                self._flight_event("injected_crash", error=type(exc).__name__)
+                self._flight_dump("injected_crash")
                 return "crashed"
             except RankFailure:
                 if not supervised:
@@ -557,6 +582,9 @@ class TrainingSupervisor:
             )
             self._count("elastic.grows")
             self._gauge_world()
+            self._flight_event(
+                "grow", joiners=list(joiners), group=list(self.group)
+            )
 
     def _broadcast_state(self, leader: int, is_joiner: bool) -> None:
         """Parameter + optimizer + step broadcast from ``leader`` onto the
@@ -626,6 +654,7 @@ class TrainingSupervisor:
             self.shrinks += 1
             if self.max_shrinks is not None and self.shrinks > self.max_shrinks:
                 raise  # noqa: PLE0704 — re-raise the RankFailure being handled
+            previous_group = list(self.group)
             try:
                 with self.tracer.span("elastic.detect", epoch=self.epoch):
                     self.group = detect_survivors(
@@ -634,6 +663,8 @@ class TrainingSupervisor:
             except RankFailure:
                 report.recovery_seconds += time.perf_counter() - t0
                 self._count("elastic.evictions")
+                self._flight_event("evicted", group=previous_group)
+                self._flight_dump("evicted")
                 return False
             self.active = SubCommunicator(self.root, self.group)
             vqmc.comm = self.active
@@ -682,4 +713,11 @@ class TrainingSupervisor:
             report.recovery_seconds += time.perf_counter() - t0
             self._count("elastic.shrinks")
             self._gauge_world()
+            self._flight_event(
+                "shrink",
+                failed=sorted(set(previous_group) - set(self.group)),
+                group=list(self.group),
+                restored_step=agreed,
+            )
+            self._flight_dump("rank_failure")
             return True

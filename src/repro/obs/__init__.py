@@ -13,6 +13,14 @@ them from real runs instead of ad-hoc ``time.perf_counter()`` pairs:
   cross-rank skew aggregation over ``Communicator.allgather``.
 - :mod:`repro.obs.instrument` — :class:`ObsCallback`, the training-loop
   callback that writes the JSONL stream and the per-rank Chrome traces.
+- :mod:`repro.obs.flight` — :class:`FlightRecorder`, a bounded ring
+  buffer over the last K steps that atomically dumps a CRC-stamped
+  ``flight.rankNNN.json`` black box on crash / rank failure / SIGTERM.
+- :mod:`repro.obs.health` — :class:`HealthMonitor`, a streaming rule
+  engine (NaN energy, variance/acceptance collapse, SNR drop, CG stalls,
+  straggler drift, arena growth) yielding OK/WARN/CRIT verdicts with
+  hysteresis; reports embed in checkpoints and flight dumps. Inspect
+  either live streams or post-mortem dumps with ``tools/monitor.py``.
 
 Instrumentation is already wired through the hot paths: ``VQMC.step``
 emits ``step``/``sample``/``local_energy``/``gradient``/``sr_solve``/
@@ -29,9 +37,27 @@ from repro.obs.export import (
     chrome_trace_events,
     load_chrome_trace,
     merge_chrome_traces,
+    metrics_file_name,
     skew_report,
     trace_file_name,
     write_chrome_trace,
+)
+from repro.obs.flight import (
+    FlightDumpError,
+    FlightRecorder,
+    StepFrameBuilder,
+    flight_file_name,
+    load_flight_dump,
+)
+from repro.obs.health import (
+    CRIT,
+    OK,
+    WARN,
+    HealthMonitor,
+    HealthRule,
+    default_rules,
+    replay_frames,
+    worst_verdict,
 )
 from repro.obs.instrument import ObsCallback
 from repro.obs.metrics import (
@@ -55,11 +81,25 @@ __all__ = [
     "merge_snapshots",
     "DEFAULT_BUCKETS",
     "ObsCallback",
+    "FlightRecorder",
+    "FlightDumpError",
+    "StepFrameBuilder",
+    "flight_file_name",
+    "load_flight_dump",
+    "HealthMonitor",
+    "HealthRule",
+    "default_rules",
+    "replay_frames",
+    "worst_verdict",
+    "OK",
+    "WARN",
+    "CRIT",
     "chrome_trace_events",
     "write_chrome_trace",
     "load_chrome_trace",
     "merge_chrome_traces",
     "trace_file_name",
+    "metrics_file_name",
     "allgather_named_floats",
     "skew_report",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "load_chrome_trace",
     "merge_chrome_traces",
     "trace_file_name",
+    "metrics_file_name",
     "allgather_named_floats",
     "skew_report",
 ]
@@ -42,6 +43,16 @@ __all__ = [
 def trace_file_name(rank: int) -> str:
     """Canonical per-rank trace file name (``trace.rank003.json``)."""
     return f"trace.rank{rank:03d}.json"
+
+
+def metrics_file_name(rank: int) -> str:
+    """Canonical per-rank metrics snapshot name (``metrics.rank003.json``).
+
+    The payload is one :meth:`repro.obs.metrics.Metrics.snapshot` dict —
+    the mergeable form, so ``tools/trace.py merge``/``summary`` can fold
+    any subset of ranks with :func:`~repro.obs.metrics.merge_snapshots`.
+    """
+    return f"metrics.rank{rank:03d}.json"
 
 
 def _json_safe(value):

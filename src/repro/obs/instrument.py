@@ -11,6 +11,9 @@
   Parse it with :meth:`repro.utils.runlog.RunLogger.read`.
 - ``trace.rankNNN.json`` — the Chrome trace-event timeline
   (:func:`repro.obs.export.write_chrome_trace`), one process per rank.
+- optionally, with a metrics registry, ``metrics.rankNNN.json`` — the
+  rank's :meth:`~repro.obs.metrics.Metrics.snapshot`, in the mergeable
+  form ``tools/trace.py merge``/``summary`` fold across ranks.
 - optionally, with a communicator, a cross-rank skew report folded over
   ``allgather`` at run end (:attr:`skew`) — **collective**: either every
   rank's callback aggregates or none does.
@@ -29,6 +32,7 @@ from pathlib import Path
 
 from repro.obs.export import (
     allgather_named_floats,
+    metrics_file_name,
     skew_report,
     trace_file_name,
     write_chrome_trace,
@@ -55,6 +59,11 @@ class ObsCallback:
         output in :attr:`skew`. Collective — pass it on every rank or none.
     jsonl, chrome:
         Disable either exporter (both on by default).
+    metrics:
+        Optional :class:`~repro.obs.metrics.Metrics` registry (typically
+        the one handed to ``VQMC``); when given, ``on_run_end`` writes its
+        snapshot to ``metrics.rankNNN.json`` — the mergeable form that
+        ``tools/trace.py merge``/``summary`` fold across ranks.
     """
 
     def __init__(
@@ -65,6 +74,7 @@ class ObsCallback:
         comm=None,
         jsonl: bool = True,
         chrome: bool = True,
+        metrics=None,
     ):
         self.tracer = tracer
         self.directory = Path(directory)
@@ -73,10 +83,12 @@ class ObsCallback:
         self.comm = comm
         self.jsonl_enabled = jsonl
         self.chrome_enabled = chrome
+        self.metrics = metrics
         #: cross-rank skew report (populated at run end when ``comm`` given)
         self.skew: dict[str, dict[str, float]] | None = None
         self.chrome_path: Path | None = None
         self.jsonl_path: Path | None = None
+        self.metrics_path: Path | None = None
         self._fh = None
         self._event_idx = 0
 
@@ -136,6 +148,12 @@ class ObsCallback:
                 self.tracer,
                 self.directory / trace_file_name(self.rank),
                 rank=self.rank,
+            )
+        if self.metrics is not None:
+            self.metrics_path = self.directory / metrics_file_name(self.rank)
+            self.metrics_path.write_text(
+                json.dumps(self.metrics.snapshot(), default=repr) + "\n",
+                encoding="utf-8",
             )
         if self.comm is not None:
             phase_totals = {

@@ -65,13 +65,15 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-boundary histogram: counts per bucket plus sum/count.
+    """Fixed-boundary histogram: counts per bucket plus sum/count/max.
 
     ``boundaries`` are upper edges; values above the last edge land in the
-    overflow bucket, so there are ``len(boundaries) + 1`` counts.
+    overflow bucket, so there are ``len(boundaries) + 1`` counts. The
+    observed maximum is tracked so the overflow bucket has a finite upper
+    edge for quantile estimates.
     """
 
-    __slots__ = ("boundaries", "counts", "sum", "count")
+    __slots__ = ("boundaries", "counts", "sum", "count", "max")
 
     def __init__(self, boundaries=DEFAULT_BUCKETS):
         edges = tuple(float(b) for b in boundaries)
@@ -81,14 +83,25 @@ class Histogram:
         self.counts = [0] * (len(edges) + 1)
         self.sum = 0.0
         self.count = 0
+        self.max: float | None = None
 
     def observe(self, value: float) -> None:
+        value = float(value)
         self.counts[bisect_right(self.boundaries, value)] += 1
         self.sum += value
         self.count += 1
+        if self.max is None or value > self.max:
+            self.max = value
 
     def quantile(self, q: float) -> float:
-        """Upper-edge estimate of the ``q``-quantile (conservative)."""
+        """Upper-edge estimate of the ``q``-quantile (conservative).
+
+        Within the finite buckets this returns the bucket's upper edge.
+        A quantile landing in the terminal overflow bucket interpolates
+        linearly between the last finite edge and the observed maximum
+        (instead of collapsing to the last edge or blowing up to +inf),
+        so tail quantiles of long-tailed latencies stay informative.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q}")
         if self.count == 0:
@@ -98,12 +111,15 @@ class Histogram:
         for i, c in enumerate(self.counts):
             seen += c
             if seen >= target:
-                return (
-                    self.boundaries[i]
-                    if i < len(self.boundaries)
-                    else float("inf")
-                )
-        return float("inf")
+                if i < len(self.boundaries):
+                    return self.boundaries[i]
+                last = self.boundaries[-1]
+                top = self.max if self.max is not None and self.max > last else last
+                if c == 0:
+                    return top
+                within = (target - (seen - c)) / c
+                return last + within * (top - last)
+        return float("inf")  # unreachable: seen == count >= target at the end
 
 
 class Metrics:
@@ -181,6 +197,7 @@ class Metrics:
                     "counts": list(h.counts),
                     "sum": h.sum,
                     "count": h.count,
+                    "max": h.max,
                 }
                 for n, h in sorted(self._histograms.items())
             },
@@ -210,11 +227,15 @@ def merge_snapshots(a: dict, b: dict) -> dict:
                 f"cannot merge histogram {name!r}: boundary mismatch "
                 f"{mine['boundaries']} vs {h['boundaries']}"
             )
+        # .get("max"): snapshots written before the max slot existed merge
+        # as if they never observed anything above the last edge.
+        maxes = [m for m in (mine.get("max"), h.get("max")) if m is not None]
         histograms[name] = {
             "boundaries": list(mine["boundaries"]),
             "counts": [x + y for x, y in zip(mine["counts"], h["counts"])],
             "sum": mine["sum"] + h["sum"],
             "count": mine["count"] + h["count"],
+            "max": max(maxes) if maxes else None,
         }
     return {
         "counters": dict(sorted(counters.items())),

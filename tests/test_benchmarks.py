@@ -35,7 +35,7 @@ class TestHarnessHelpers:
     def test_emit_json_envelope(self, tmp_path):
         import json
 
-        from _harness import emit_json
+        from _harness import BENCH_SCHEMA_VERSION, emit_json
 
         path = emit_json(
             "unit_test", {"results": [{"n": 8, "seconds": 0.5}]}, out_dir=tmp_path
@@ -43,10 +43,33 @@ class TestHarnessHelpers:
         assert path == tmp_path / "BENCH_unit_test.json"
         doc = json.loads(path.read_text())
         assert doc["benchmark"] == "unit_test"
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION == 2
         assert doc["results"] == [{"n": 8, "seconds": 0.5}]
-        for key in ("unix_time", "python", "numpy"):
+        for key in ("unix_time", "python", "numpy", "git_sha", "hostname"):
             assert key in doc
+        # Provenance stamps are real values in a git checkout.
+        assert doc["hostname"]
+        assert doc["git_sha"] is None or len(doc["git_sha"]) >= 7
+
+    def test_read_bench_json_backfills_v1(self, tmp_path):
+        import json
+
+        from _harness import read_bench_json
+
+        legacy = tmp_path / "BENCH_old.json"
+        legacy.write_text(json.dumps({"unix_time": 1.0, "results": []}))
+        doc = read_bench_json(legacy)
+        assert doc["schema_version"] == 1
+        assert doc["git_sha"] is None and doc["hostname"] is None
+        assert doc["benchmark"] == "old"  # recovered from the file name
+
+    def test_read_bench_json_passes_v2_through(self, tmp_path):
+        from _harness import emit_json, read_bench_json
+
+        path = emit_json("rt", {"results": [1]}, out_dir=tmp_path)
+        doc = read_bench_json(path)
+        assert doc["schema_version"] == 2
+        assert doc["results"] == [1]
 
 
 class TestKernelFastpathsHarness:

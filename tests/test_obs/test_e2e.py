@@ -24,7 +24,14 @@ from repro.core import VQMC, VQMCConfig
 from repro.distributed import run_threaded
 from repro.hamiltonians import TransverseFieldIsing
 from repro.models import MADE
-from repro.obs import ObsCallback, Tracer, load_chrome_trace, trace_file_name
+from repro.obs import (
+    Metrics,
+    ObsCallback,
+    Tracer,
+    load_chrome_trace,
+    metrics_file_name,
+    trace_file_name,
+)
 from repro.optim import SGD, StochasticReconfiguration
 from repro.samplers import AutoregressiveSampler
 
@@ -40,6 +47,7 @@ PHASES = {"sample", "local_energy", "gradient", "sr_solve", "optimizer"}
 def _worker(comm, rank, outdir):
     model = MADE(8, hidden=14, rng=np.random.default_rng(3))
     tracer = Tracer(rank=rank)
+    metrics = Metrics()
     vqmc = VQMC(
         model,
         TransverseFieldIsing.random(8, seed=99),
@@ -50,8 +58,9 @@ def _worker(comm, rank, outdir):
         seed=100 + rank,
         config=VQMCConfig(gradient_mode="per_sample"),
         tracer=tracer,
+        metrics=metrics,
     )
-    cb = ObsCallback(tracer, outdir, comm=comm)
+    cb = ObsCallback(tracer, outdir, comm=comm, metrics=metrics)
     results = vqmc.run(STEPS, batch_size=64, callbacks=[cb])
     step_total = tracer.totals(depth=0)["step"]["total_s"]
     phase_sum = sum(v["total_s"] for v in tracer.totals(depth=1).values())
@@ -167,6 +176,50 @@ class TestAcceptance:
         assert proc.returncode == 0, proc.stdout + proc.stderr
         spans = [e for e in load_chrome_trace(merged) if e["ph"] == "X"]
         assert {e["pid"] for e in spans} == set(range(WORLD))
+
+    def test_every_rank_wrote_metrics_snapshot(self, traced_run):
+        outdir, _ = traced_run
+        for rank in range(WORLD):
+            path = outdir / metrics_file_name(rank)
+            assert path.exists(), f"missing metrics snapshot for rank {rank}"
+            snap = json.loads(path.read_text())
+            assert snap["counters"]["sr.solves"] == STEPS
+
+    def test_trace_cli_summary_folds_metrics(self, traced_run):
+        outdir, _ = traced_run
+        proc = subprocess.run(
+            [sys.executable, str(CLI), "summary", str(outdir)],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert f"folded metrics ({WORLD} rank snapshot(s))" in proc.stdout
+        assert "sr.solves" in proc.stdout
+
+        proc = subprocess.run(
+            [sys.executable, str(CLI), "summary", str(outdir), "--json"],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        doc = json.loads(proc.stdout)
+        # counters add across ranks; gauges keep the worst rank
+        assert doc["metrics"]["counters"]["sr.solves"] == WORLD * STEPS
+
+    def test_trace_cli_merge_writes_folded_metrics(self, traced_run, tmp_path):
+        outdir, _ = traced_run
+        merged = tmp_path / "merged.json"
+        proc = subprocess.run(
+            [sys.executable, str(CLI), "merge", str(outdir), "-o", str(merged)],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        folded = json.loads((tmp_path / "merged.metrics.json").read_text())
+        assert folded["counters"]["sr.solves"] == WORLD * STEPS
+        assert "sr.cg_iterations" in folded["counters"]
 
     def test_trace_cli_summary_annotates_batch_ledger(self, traced_run, tmp_path):
         """A BatchLedger JSON log next to the traces adds the per-rank batch

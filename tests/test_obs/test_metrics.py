@@ -89,6 +89,7 @@ class TestMergeProperties:
             "counts": [1, 2],
             "sum": 4.5,
             "count": 3,
+            "max": None,  # pre-max-slot snapshots: backfilled, not invented
         }
 
     def test_boundary_mismatch_raises(self):
@@ -96,6 +97,46 @@ class TestMergeProperties:
         b = {"histograms": {"h": {"boundaries": [2.0], "counts": [0, 0], "sum": 0, "count": 0}}}
         with pytest.raises(ValueError, match="boundary mismatch"):
             merge_snapshots(a, b)
+
+    def test_boundary_length_mismatch_raises(self):
+        a = {"histograms": {"h": {"boundaries": [1.0, 2.0], "counts": [0, 0, 0], "sum": 0, "count": 0}}}
+        b = {"histograms": {"h": {"boundaries": [1.0], "counts": [0, 0], "sum": 0, "count": 0}}}
+        with pytest.raises(ValueError, match="boundary mismatch"):
+            merge_snapshots(a, b)
+
+    def test_fully_empty_snapshots_merge(self):
+        assert merge_snapshots({}, {}) == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+        a = {"counters": {"n": 1.0}}
+        merged = merge_snapshots({}, a)  # missing sections tolerated
+        assert merged["counters"] == {"n": 1.0}
+        assert merged["gauges"] == {} and merged["histograms"] == {}
+
+    def test_gauge_conflict_takes_max_both_orders(self):
+        a = {"gauges": {"arena": 100.0, "only_a": 7.0}}
+        b = {"gauges": {"arena": 250.0, "only_b": -3.0}}
+        for left, right in ((a, b), (b, a)):
+            merged = merge_snapshots(left, right)
+            assert merged["gauges"] == {
+                "arena": 250.0, "only_a": 7.0, "only_b": -3.0
+            }
+
+    def test_histogram_max_slot_merges_and_backfills(self):
+        with_max = {"histograms": {"h": {
+            "boundaries": [1.0], "counts": [0, 1], "sum": 5.0, "count": 1,
+            "max": 5.0,
+        }}}
+        legacy = {"histograms": {"h": {
+            "boundaries": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1,
+        }}}
+        merged = merge_snapshots(with_max, legacy)
+        assert merged["histograms"]["h"]["max"] == 5.0
+        bigger = {"histograms": {"h": {
+            "boundaries": [1.0], "counts": [0, 1], "sum": 9.0, "count": 1,
+            "max": 9.0,
+        }}}
+        assert merge_snapshots(merged, bigger)["histograms"]["h"]["max"] == 9.0
 
 
 class TestInstruments:
@@ -126,11 +167,23 @@ class TestInstruments:
             h.observe(v)
         assert h.quantile(0.5) == 1.0  # 2 of 4 observations <= 1.0
         assert h.quantile(1.0) == 4.0
-        h.observe(999.0)  # overflow bucket has no finite upper edge
-        assert math.isinf(h.quantile(1.0))
+        # The overflow bucket interpolates toward the observed max instead
+        # of collapsing to +inf: the tail quantile stays finite and real.
+        h.observe(999.0)
+        assert h.quantile(1.0) == 999.0
+        assert h.max == 999.0
         assert math.isnan(Histogram().quantile(0.5))
         with pytest.raises(ValueError, match="q must be"):
             h.quantile(1.5)
+
+    def test_histogram_overflow_interpolation_is_linear(self):
+        h = Histogram(boundaries=(1.0,))
+        for v in (0.5, 10.0, 10.0):  # 1 finite, 2 overflow, max 10
+            h.observe(v)
+        # q=2/3 -> target 2.0 = halfway through the overflow bucket:
+        # midway between last edge 1.0 and observed max 10.0.
+        assert h.quantile(2 / 3) == pytest.approx(5.5)
+        assert h.quantile(1.0) == pytest.approx(10.0)
 
     def test_histogram_boundaries_must_increase(self):
         with pytest.raises(ValueError, match="strictly increasing"):

@@ -1,0 +1,312 @@
+#!/usr/bin/env python3
+"""Live/post-mortem health monitor — the judgement half of the obs CLI
+(``tools/trace.py`` reads spans; this reads *runs*).
+
+Usage::
+
+    python tools/monitor.py health runs/run.jsonl            # classify a stream
+    python tools/monitor.py health runs/ --follow            # tail a live run
+    python tools/monitor.py health runs/ --json --fail-on-warn
+    python tools/monitor.py flight runs/                     # read black boxes
+    python tools/monitor.py flight runs/flight.rank002.json --json
+
+``health`` replays one or more metric streams — ``RunLogger`` JSONL files
+and/or flight-recorder dumps — through the :mod:`repro.obs.health` rule
+engine (the *same* rules that run live, so online and offline verdicts
+can never disagree) and prints a per-source verdict table. ``--follow``
+keeps tailing JSONL files and re-judging as lines arrive.
+
+``flight`` inspects ``flight.rankNNN.json`` black boxes: verifies each
+CRC, prints per-rank reason / last completed step / health verdict, and
+names the failed ranks (from the dumping rank's own crash record and from
+the survivors' epoch-tagged ``shrink`` events).
+
+Exit codes: 0 healthy, 1 any CRIT verdict / failed rank / invalid dump
+(WARN also fails with ``--fail-on-warn``), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+
+def _bootstrap() -> None:
+    """Make ``repro`` importable when run from a source checkout."""
+    try:
+        import repro.obs  # noqa: F401
+    except ImportError:
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        sys.path.insert(0, str(src))
+
+
+def _expand(paths: list[str]) -> list[pathlib.Path]:
+    out: list[pathlib.Path] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            out.extend(sorted(p.glob("*.jsonl")))
+            out.extend(sorted(p.glob("flight.rank*.json")))
+        elif p.exists():
+            out.append(p)
+        else:
+            raise FileNotFoundError(raw)
+    if not out:
+        raise FileNotFoundError(
+            f"nothing to monitor under {', '.join(paths)} "
+            "(expected *.jsonl streams or flight.rank*.json dumps)"
+        )
+    return out
+
+
+def _frames_from_jsonl(path: pathlib.Path) -> list[dict]:
+    """``RunLogger`` step records are already health frames (same keys)."""
+    frames = []
+    with path.open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail line of a live run
+            if record.get("event") == "step":
+                frames.append(record)
+    return frames
+
+
+def _is_flight(path: pathlib.Path) -> bool:
+    return path.name.startswith("flight.rank") and path.suffix == ".json"
+
+
+def _load_source(path: pathlib.Path):
+    """Returns ``(frames, doc)``; ``doc`` is the flight document or None."""
+    from repro.obs import load_flight_dump
+
+    if _is_flight(path):
+        doc = load_flight_dump(path)
+        return list(doc["body"].get("frames", [])), doc
+    return _frames_from_jsonl(path), None
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    from repro.obs import CRIT, WARN, replay_frames, worst_verdict
+    from repro.obs.flight import FlightDumpError
+    from repro.utils.tables import format_table
+
+    paths = _expand(args.paths)
+    offsets = {p: 0 for p in paths}
+    monitors: dict[pathlib.Path, object] = {}
+    invalid: list[str] = []
+    deadline = time.monotonic() + args.follow_seconds if args.follow else None
+
+    while True:
+        for path in paths:
+            try:
+                frames, _ = _load_source(path)
+            except FlightDumpError as exc:
+                if str(exc) not in invalid:
+                    invalid.append(str(exc))
+                continue
+            fresh = frames[offsets[path]:]
+            offsets[path] = len(frames)
+            if path not in monitors:
+                monitors[path] = replay_frames([])
+            for frame in fresh:
+                monitors[path].observe(frame)
+        overall = worst_verdict(m.verdict for m in monitors.values())
+        if not args.follow or overall == CRIT or time.monotonic() >= deadline:
+            break
+        time.sleep(args.poll)
+
+    rows, payload = [], {}
+    for path in paths:
+        monitor = monitors.get(path)
+        if monitor is None:
+            continue
+        report = monitor.report()
+        bad = {
+            name: info
+            for name, info in report["rules"].items()
+            if info["verdict"] != "OK"
+        }
+        detail = "; ".join(
+            f"{name}={info['verdict']} ({info['detail']})"
+            for name, info in sorted(bad.items())
+        )
+        rows.append(
+            [path.name, report["verdict"], report["steps"],
+             report["last_step"], detail or "-"]
+        )
+        payload[path.name] = report
+
+    if args.json:
+        print(json.dumps({"sources": payload, "invalid": invalid}, indent=2))
+    else:
+        print(
+            format_table(
+                ["source", "verdict", "steps", "last step", "tripped rules"],
+                rows,
+                title="health verdicts",
+            )
+        )
+        for line in invalid:
+            print(f"INVALID {line}", file=sys.stderr)
+    overall = worst_verdict(m.verdict for m in monitors.values())
+    if invalid or overall == CRIT:
+        return 1
+    if overall == WARN and args.fail_on_warn:
+        return 1
+    return 0
+
+
+def cmd_flight(args: argparse.Namespace) -> int:
+    from repro.obs import replay_frames
+    from repro.obs.flight import FlightDumpError, load_flight_dump
+    from repro.utils.tables import format_table
+
+    paths = [p for p in _expand(args.paths) if _is_flight(p)]
+    if not paths:
+        raise FileNotFoundError(
+            f"no flight.rank*.json dumps under {', '.join(args.paths)}"
+        )
+    rows, payload, invalid = [], {}, []
+    failed_ranks: dict[int, str] = {}
+    last_steps: dict[int, int | None] = {}
+    restored_step = None
+    for path in paths:
+        try:
+            doc = load_flight_dump(path)
+        except FlightDumpError as exc:
+            invalid.append(str(exc))
+            continue
+        body = doc["body"]
+        rank = int(body.get("rank", -1))
+        reason = body.get("reason", "?")
+        last_steps[rank] = body.get("last_step")
+        # The dying rank's own record of why it died... unless a later
+        # recovery event shows it survived that failure (survivors see the
+        # peer's RankFailure as a crash too, then shrink and carry on).
+        own_failure = None
+        for event in body.get("events", []):
+            kind = event.get("kind")
+            if kind in ("crash", "injected_crash", "signal", "evicted"):
+                own_failure = str(event.get("error") or kind)
+            elif kind in ("shrink", "grow", "rejoin"):
+                own_failure = None
+            # ...and the survivors' record of who they lost.
+            if kind == "shrink":
+                for lost in event.get("failed", []):
+                    failed_ranks.setdefault(int(lost), "detected by survivors")
+                if event.get("restored_step") is not None:
+                    restored_step = int(event["restored_step"])
+        if own_failure is not None:
+            failed_ranks[rank] = own_failure
+        # Verdict: prefer the embedded live report, else replay the frames.
+        health = body.get("health")
+        verdict = (
+            health["verdict"]
+            if health is not None
+            else replay_frames(body.get("frames", [])).verdict
+        )
+        rows.append(
+            [path.name, rank, reason, body.get("last_step"),
+             len(body.get("frames", [])), verdict]
+        )
+        payload[path.name] = {
+            "rank": rank,
+            "reason": reason,
+            "last_step": body.get("last_step"),
+            "frames": len(body.get("frames", [])),
+            "events": body.get("events", []),
+            "verdict": verdict,
+        }
+
+    summary = {
+        "failed_ranks": {
+            str(r): {"cause": cause, "last_completed_step": last_steps.get(r)}
+            for r, cause in sorted(failed_ranks.items())
+        },
+        "restored_step": restored_step,
+        "invalid": invalid,
+    }
+    if args.json:
+        print(json.dumps({"dumps": payload, **summary}, indent=2))
+    else:
+        print(
+            format_table(
+                ["dump", "rank", "reason", "last step", "frames", "verdict"],
+                rows,
+                title="flight recorder black boxes",
+            )
+        )
+        if failed_ranks:
+            for rank, cause in sorted(failed_ranks.items()):
+                step = last_steps.get(rank)
+                where = (
+                    f"last completed step {step}"
+                    if step is not None
+                    else "no surviving frame record"
+                )
+                print(f"\nfailed rank {rank}: {cause} ({where})")
+            if restored_step is not None:
+                print(f"survivors restored from step {restored_step}")
+        else:
+            print("\nno failed ranks recorded")
+        for line in invalid:
+            print(f"INVALID {line}", file=sys.stderr)
+    return 1 if (failed_ranks or invalid) else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools/monitor.py",
+        description="judge run health from JSONL streams and flight dumps",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_health = sub.add_parser("health", help="replay streams through the rules")
+    p_health.add_argument("paths", nargs="+", help="jsonl/dump files or dirs")
+    p_health.add_argument("--json", action="store_true", help="JSON output")
+    p_health.add_argument(
+        "--fail-on-warn",
+        action="store_true",
+        help="exit 1 on WARN as well as CRIT (strict CI gate)",
+    )
+    p_health.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing JSONL sources, re-judging as lines arrive "
+        "(stops early on the first CRIT)",
+    )
+    p_health.add_argument(
+        "--poll", type=float, default=0.5, help="follow poll interval [s]"
+    )
+    p_health.add_argument(
+        "--follow-seconds",
+        type=float,
+        default=30.0,
+        help="give up following after this long (default 30)",
+    )
+    p_health.set_defaults(fn=cmd_health)
+
+    p_flight = sub.add_parser("flight", help="read post-mortem black boxes")
+    p_flight.add_argument("paths", nargs="+", help="dump files or directories")
+    p_flight.add_argument("--json", action="store_true", help="JSON output")
+    p_flight.set_defaults(fn=cmd_flight)
+
+    args = parser.parse_args(argv)
+    _bootstrap()
+    try:
+        return args.fn(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

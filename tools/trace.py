@@ -16,6 +16,12 @@ Usage::
 the straggler threshold times the median, the imbalance the paper's exact
 sampling is designed to remove.
 
+``summary`` and ``merge`` also pick up any ``metrics.rankNNN.json``
+snapshots next to the traces (written by ``ObsCallback(metrics=...)``)
+and fold them with :func:`repro.obs.merge_snapshots` — summary renders
+the folded counters/gauges as a second table; merge writes them to
+``<output>.metrics.json``.
+
 Exit codes: 0 ok, 1 validation failure / stragglers found (summary only
 with ``--fail-on-straggler``), 2 usage error.
 """
@@ -96,6 +102,34 @@ def _totals(spans: list[dict]) -> tuple[dict[str, dict[int, float]], list[int]]:
     return table, sorted(ranks)
 
 
+def _find_metrics(paths: list[str]) -> list[pathlib.Path]:
+    """Per-rank ``metrics.rankNNN.json`` snapshots living next to the
+    traces (written by ``ObsCallback(metrics=...)``)."""
+    roots = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        root = p if p.is_dir() else p.parent
+        if root not in roots:
+            roots.append(root)
+    hits: list[pathlib.Path] = []
+    for root in roots:
+        hits.extend(sorted(root.glob("metrics.rank*.json")))
+    return hits
+
+
+def _fold_metrics(paths: list[pathlib.Path]) -> dict | None:
+    """Fold per-rank snapshots into one cross-rank snapshot
+    (:func:`repro.obs.merge_snapshots`: counters/histogram bins add,
+    gauges keep the worst rank)."""
+    from repro.obs import merge_snapshots
+
+    merged: dict | None = None
+    for path in paths:
+        snap = json.loads(path.read_text(encoding="utf-8"))
+        merged = snap if merged is None else merge_snapshots(merged, snap)
+    return merged
+
+
 def _find_ledger(paths: list[str], explicit: str | None) -> pathlib.Path | None:
     """The :class:`~repro.distributed.ledger.BatchLedger` JSON log to
     annotate the summary with: ``--ledger PATH`` wins, otherwise the first
@@ -172,6 +206,9 @@ def cmd_summary(args: argparse.Namespace) -> int:
             ]
         )
 
+    metric_files = _find_metrics(args.paths)
+    folded = _fold_metrics(metric_files)
+
     if args.json:
         payload = {
             "ranks": ranks,
@@ -182,9 +219,27 @@ def cmd_summary(args: argparse.Namespace) -> int:
         }
         if ledger is not None:
             payload["ledger"] = ledger
+        if folded is not None:
+            payload["metrics"] = folded
         print(json.dumps(payload, indent=2))
     else:
         print(format_table(headers, rows, title="per-phase / per-rank span totals"))
+        if folded is not None and (folded.get("counters") or folded.get("gauges")):
+            counter_rows = [
+                [name, "counter", f"{value:g}"]
+                for name, value in sorted(folded.get("counters", {}).items())
+            ] + [
+                [name, "gauge (worst rank)", f"{value:g}"]
+                for name, value in sorted(folded.get("gauges", {}).items())
+            ]
+            print()
+            print(
+                format_table(
+                    ["metric", "kind", "value"],
+                    counter_rows,
+                    title=f"folded metrics ({len(metric_files)} rank snapshot(s))",
+                )
+            )
         if ledger is not None:
             print(
                 f"\n[batch ledger {ledger_path.name}: global_batch="
@@ -259,6 +314,16 @@ def cmd_merge(args: argparse.Namespace) -> int:
 
     out = merge_chrome_traces(_expand(args.paths), args.output)
     print(f"[trace] wrote {out}")
+    metric_files = _find_metrics(args.paths)
+    folded = _fold_metrics(metric_files)
+    if folded is not None:
+        out_path = pathlib.Path(args.output)
+        metrics_out = out_path.with_name(out_path.stem + ".metrics.json")
+        metrics_out.write_text(json.dumps(folded, indent=2) + "\n", encoding="utf-8")
+        print(
+            f"[trace] wrote {metrics_out} "
+            f"(folded {len(metric_files)} rank snapshot(s))"
+        )
     return 0
 
 
