@@ -10,7 +10,7 @@
 """
 
 from repro.core.energy import EnergyStats, local_energies, energy_statistics
-from repro.core.vqmc import VQMC, VQMCConfig, StepResult
+from repro.core.vqmc import VQMC, VQMCConfig, StepResult, StepDriver
 from repro.core.callbacks import (
     Callback,
     History,
@@ -35,6 +35,7 @@ __all__ = [
     "VQMC",
     "VQMCConfig",
     "StepResult",
+    "StepDriver",
     "Callback",
     "History",
     "HittingTime",

@@ -80,6 +80,14 @@ def save_checkpoint(vqmc: VQMC, path: str | Path) -> None:
             "rng_state": vqmc.rng.bit_generator.state,
             "model_class": type(vqmc.model).__name__,
         }
+        # The evaluation stream is a seeded fork of the training stream
+        # (see repro.core.vqmc.derive_eval_rng); it must resume where it
+        # left off, or a restored run's interleaved evaluations would
+        # replay different draws than the original's. Optional key: v2
+        # checkpoints written before the fork existed restore fine.
+        eval_rng = getattr(vqmc, "eval_rng", None)
+        if eval_rng is not None:
+            header["eval_rng_state"] = eval_rng.bit_generator.state
         # A HealthMonitor registers itself as vqmc.health on run begin; its
         # report rides in the header so a restored run knows how healthy its
         # source was. Absent/reportless monitors leave the header unchanged
@@ -171,6 +179,14 @@ def load_checkpoint(vqmc: VQMC, path: str | Path) -> None:
         vqmc.model.load_state_dict(params)
         vqmc.optimizer.load_state_dict(header["optimizer_state"])
         vqmc.rng.bit_generator.state = header["rng_state"]
+        if "eval_rng_state" in header:
+            vqmc.eval_rng.bit_generator.state = header["eval_rng_state"]
+        else:
+            # Pre-fork checkpoint: re-derive deterministically from the
+            # (just restored) training stream, matching a fresh trainer.
+            from repro.core.vqmc import derive_eval_rng
+
+            vqmc.eval_rng = derive_eval_rng(vqmc.rng)
         vqmc.global_step = header["global_step"]
 
 

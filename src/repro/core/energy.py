@@ -67,7 +67,26 @@ class EnergyStats:
     def variance(self) -> float:
         return self.std**2
 
+    @property
+    def is_empty(self) -> bool:
+        """True for the zero-sample sentinel (see :meth:`empty`)."""
+        return self.count == 0
+
+    @classmethod
+    def empty(cls) -> "EnergyStats":
+        """The zero-sample sentinel: all-finite, ``count == 0``.
+
+        A cancelled or empty batched query (the ``repro.serve`` batcher can
+        produce one) has no samples to summarise; returning finite zeros
+        instead of NaN / raising keeps downstream consumers (JSON
+        serialisation, health rules, dashboards) well-defined. Check
+        :attr:`is_empty` before interpreting the moments.
+        """
+        return cls(mean=0.0, std=0.0, sem=0.0, count=0)
+
     def __str__(self) -> str:
+        if self.is_empty:
+            return "E = <empty batch> (B=0)"
         return f"E = {self.mean:.6f} ± {self.sem:.6f} (std {self.std:.4f}, B={self.count})"
 
 
@@ -175,6 +194,8 @@ def energy_statistics(local: np.ndarray) -> EnergyStats:
     """
     local = np.asarray(local, dtype=np.float64)
     count = local.size
+    if count == 0:
+        return EnergyStats.empty()
     mean = float(local.mean())
     std = float(local.std())
     sem = std / np.sqrt(count) if count > 1 else float("nan")

@@ -17,8 +17,10 @@ update — keeping the replicas in lock-step without ever exchanging samples.
 
 from __future__ import annotations
 
-import sys
+import hashlib
+import json
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -42,7 +44,25 @@ from repro.samplers.base import Sampler
 from repro.utils.rng import as_generator
 from repro.utils.timer import WallClock
 
-__all__ = ["VQMC", "VQMCConfig", "StepResult"]
+__all__ = ["VQMC", "VQMCConfig", "StepResult", "StepDriver"]
+
+
+def derive_eval_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Seeded evaluation fork of a sampling stream, without consuming it.
+
+    Evaluation draws (``VQMC.evaluate``, server-side energy/sample queries)
+    must never share the training stream: an interleaved evaluation would
+    shift every subsequent training draw and break bit-exact
+    checkpoint/recovery replays. The fork is derived by hashing the
+    generator's *state* — no draws are taken, so constructing a trainer
+    leaves the training stream untouched, the fork is deterministic for a
+    given seed, and distinct ranks (distinct streams) get distinct
+    evaluation streams.
+    """
+    blob = json.dumps(rng.bit_generator.state, sort_keys=True, default=repr)
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    entropy = [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+    return np.random.default_rng(np.random.SeedSequence(entropy))
 
 
 @dataclass
@@ -167,6 +187,10 @@ class VQMC:
         self.sr = sr
         self.comm = comm
         self.rng = as_generator(seed)
+        #: evaluation stream — a seeded fork of ``rng`` (see
+        #: :func:`derive_eval_rng`); saved and restored by checkpoints so
+        #: resumed runs replay evaluation draws too.
+        self.eval_rng = derive_eval_rng(self.rng)
         self.config = config or VQMCConfig()
         self.global_step = 0
         self.diverged_steps = 0
@@ -381,6 +405,11 @@ class VQMC:
             return energy_statistics(local)
         moments = np.array([local.size, local.sum(), (local**2).sum()])
         total, s1, s2 = self.comm.allreduce(moments, op="sum")
+        if total <= 0:
+            # A server's cancelled/empty batched query can legitimately ask
+            # for statistics over zero samples; dividing through would make
+            # NaNs here and a ZeroDivisionError downstream.
+            return EnergyStats.empty()
         mean = s1 / total
         var = max(s2 / total - mean**2, 0.0)
         std = float(np.sqrt(var))
@@ -418,43 +447,244 @@ class VQMC:
     ) -> list[StepResult]:
         """Run ``iterations`` optimisation steps; returns all step results.
 
-        ``on_run_end`` is delivered from a ``finally`` block, so sinks like
-        :class:`~repro.utils.runlog.RunLogger` and
+        ``on_run_end`` is delivered from the driver's teardown, so sinks
+        like :class:`~repro.utils.runlog.RunLogger` and
         :class:`~repro.obs.ObsCallback` write their footer (and flush to
         disk) even when a step or callback raises mid-run. When the run is
         dying on an exception, callbacks that define ``on_crash(vqmc, exc)``
         (e.g. :class:`~repro.obs.flight.FlightRecorder`) are notified first,
-        so black-box dumps happen before footers are written.
+        so black-box dumps happen before footers are written. Each teardown
+        delivery is *isolated*: one raising callback can neither starve the
+        remaining callbacks of their hooks nor mask the original training
+        exception (see :class:`StepDriver`).
+
+        ``run`` is a convenience façade over :class:`StepDriver`; callers
+        that need to pause, checkpoint, cancel, or interleave work between
+        steps (the ``repro.serve`` worker pool, the elastic supervisor's
+        successor loops) should drive a :class:`StepDriver` — or the
+        :meth:`steps` generator — directly.
         """
-        if iterations < 0:
-            raise ValueError(f"iterations must be >= 0, got {iterations}")
-        for cb in callbacks:
-            cb.on_run_begin(self)
-        results: list[StepResult] = []
+        driver = StepDriver(
+            self, iterations, batch_size=batch_size, callbacks=callbacks
+        )
+        return driver.run()
+
+    def steps(
+        self,
+        iterations: int,
+        batch_size: int | None = None,
+        callbacks: Sequence[Callback] = (),
+    ):
+        """Generator form of :meth:`run`: yields each :class:`StepResult`.
+
+        Callback lifecycle matches :meth:`run` exactly (``on_run_begin``
+        before the first step, isolated ``on_crash``/``on_run_end`` on
+        exhaustion, error, *or* ``generator.close()``), so a consumer can
+        abandon the loop at any yield point and sinks still flush.
+        """
+        driver = StepDriver(
+            self, iterations, batch_size=batch_size, callbacks=callbacks
+        )
+        exc: BaseException | None = None
         try:
-            for _ in range(iterations):
-                result = self.step(batch_size)
-                results.append(result)
-                for cb in callbacks:
-                    cb.on_step(result.step, result)
-        except StopTraining:
-            pass
+            while True:
+                result = driver.step_once()
+                if result is None:
+                    break
+                yield result
+        except GeneratorExit:
+            # generator.close() — an abandoned loop, not a crash: sinks
+            # flush their footers but on_crash is not delivered.
+            raise
+        except BaseException as err:
+            exc = err
+            raise
         finally:
-            exc = sys.exc_info()[1]
-            if exc is not None and not isinstance(exc, StopTraining):
-                for cb in callbacks:
-                    on_crash = getattr(cb, "on_crash", None)
-                    if on_crash is not None:
-                        on_crash(self, exc)
-            for cb in callbacks:
-                cb.on_run_end(self)
-        return results
+            driver.finish(exc)
 
     # -- evaluation ---------------------------------------------------------------------
 
-    def evaluate(self, batch_size: int = 1024) -> EnergyStats:
+    def evaluate(
+        self, batch_size: int = 1024, rng: np.random.Generator | None = None
+    ) -> EnergyStats:
         """Draw a fresh evaluation batch and report its energy statistics
-        (the paper's test-time protocol, §5.1)."""
-        x = self.sampler.sample(self.model, batch_size, self.rng)
+        (the paper's test-time protocol, §5.1).
+
+        Draws come from ``eval_rng`` — a seeded fork of the training
+        stream, never the training stream itself — so interleaving
+        evaluations (or server-side energy queries) with training leaves
+        the training trajectory bit-exact. Pass an explicit ``rng`` to
+        evaluate from a caller-owned stream instead.
+        """
+        gen = rng if rng is not None else self.eval_rng
+        x = self.sampler.sample(self.model, batch_size, gen)
         local = local_energies(self.model, self.hamiltonian, x)
         return self._combine_stats(local)
+
+
+def _deliver_teardown(
+    callbacks: Sequence[Callback], vqmc: VQMC, exc: BaseException | None
+) -> None:
+    """Deliver ``on_crash`` (when dying on ``exc``) then ``on_run_end`` to
+    every callback, isolating each delivery.
+
+    A raising callback used to skip delivery to all remaining callbacks —
+    the flight recorder never dumped, the RunLogger footer was lost — and
+    could mask the original training exception. Now every callback gets its
+    hooks; errors raised *by* callbacks are logged as warnings. When there
+    is no original exception to propagate, the first callback error is
+    re-raised after all deliveries (so a broken sink still fails loudly).
+    """
+    errors: list[tuple[object, str, Exception]] = []
+    if exc is not None and not isinstance(exc, StopTraining):
+        for cb in callbacks:
+            on_crash = getattr(cb, "on_crash", None)
+            if on_crash is None:
+                continue
+            try:
+                on_crash(vqmc, exc)
+            except Exception as cb_exc:  # noqa: BLE001 — isolation is the point
+                errors.append((cb, "on_crash", cb_exc))
+    for cb in callbacks:
+        try:
+            cb.on_run_end(vqmc)
+        except Exception as cb_exc:  # noqa: BLE001
+            errors.append((cb, "on_run_end", cb_exc))
+    for cb, hook, cb_exc in errors:
+        warnings.warn(
+            f"callback {type(cb).__name__}.{hook} raised "
+            f"{type(cb_exc).__name__}: {cb_exc} (delivery was isolated; "
+            "remaining callbacks still ran)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    if exc is None and errors:
+        raise errors[0][2]
+
+
+class StepDriver:
+    """Re-entrant stepwise training loop: the engine under :meth:`VQMC.run`.
+
+    A driver owns one run's worth of callback lifecycle but hands control
+    back to the caller between steps, which is what long-lived consumers
+    need: the ``repro.serve`` worker pool pauses, checkpoints, cancels and
+    resumes jobs at step boundaries; tests single-step through training.
+
+    Usage::
+
+        driver = StepDriver(vqmc, iterations=100, callbacks=[history])
+        with driver:                       # on_run_begin / teardown
+            while not driver.done:
+                if should_cancel():
+                    driver.cancel()        # leaves state restorable
+                    break
+                driver.step_once()
+
+    Contract:
+
+    - :meth:`step_once` runs exactly one optimisation step and delivers
+      ``on_step``; it returns ``None`` once the loop is exhausted,
+      stopped by :class:`StopTraining`, or cancelled.
+    - :meth:`finish` delivers ``on_crash`` (if dying on an exception) and
+      ``on_run_end`` exactly once, each isolated per callback so one
+      raising sink cannot starve the others or mask the original error.
+    - The context manager and :meth:`run` wire the two together; driving
+      manually, call ``finish(exc_or_None)`` from your own ``finally``.
+    """
+
+    def __init__(
+        self,
+        vqmc: VQMC,
+        iterations: int,
+        batch_size: int | None = None,
+        callbacks: Sequence[Callback] = (),
+    ):
+        if iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        self.vqmc = vqmc
+        self.iterations = iterations
+        self.batch_size = batch_size
+        self.callbacks = tuple(callbacks)
+        self.results: list[StepResult] = []
+        self.stopped = False  #: a callback raised StopTraining
+        self.cancelled = False  #: cancel() was called
+        self._begun = False
+        self._finished = False
+
+    @property
+    def steps_done(self) -> int:
+        return len(self.results)
+
+    @property
+    def done(self) -> bool:
+        """True when no further :meth:`step_once` call will run a step."""
+        return (
+            self._finished
+            or self.stopped
+            or self.cancelled
+            or self.steps_done >= self.iterations
+        )
+
+    def begin(self) -> None:
+        """Deliver ``on_run_begin`` (idempotent; auto-called by step_once)."""
+        if self._begun:
+            return
+        self._begun = True
+        for cb in self.callbacks:
+            cb.on_run_begin(self.vqmc)
+
+    def step_once(self) -> StepResult | None:
+        """Run one step and deliver ``on_step``; ``None`` when done.
+
+        :class:`StopTraining` raised by a callback marks the driver
+        ``stopped`` (matching :meth:`VQMC.run`'s early-exit semantics);
+        any other exception propagates — the caller's ``finally`` (or the
+        context manager) routes it into :meth:`finish`.
+        """
+        if self._finished:
+            raise RuntimeError("StepDriver.finish() already ran")
+        self.begin()
+        if self.done:
+            return None
+        try:
+            result = self.vqmc.step(self.batch_size)
+            self.results.append(result)
+            for cb in self.callbacks:
+                cb.on_step(result.step, result)
+        except StopTraining:
+            self.stopped = True
+            return None
+        return result
+
+    def cancel(self) -> None:
+        """Mark the loop done; the trainer stays restorable (checkpoint it
+        before or after — no step is in flight between step_once calls)."""
+        self.cancelled = True
+
+    def finish(self, exc: BaseException | None = None) -> None:
+        """Deliver teardown hooks exactly once (see :func:`_deliver_teardown`)."""
+        if self._finished:
+            return
+        self._finished = True
+        self.begin()  # a zero-step run still brackets its callbacks
+        _deliver_teardown(self.callbacks, self.vqmc, exc)
+
+    def run(self) -> list[StepResult]:
+        """Drive to completion with :meth:`VQMC.run` semantics."""
+        self.begin()
+        try:
+            while not self.done:
+                self.step_once()
+        except BaseException as exc:
+            self.finish(exc)
+            raise
+        self.finish(None)
+        return self.results
+
+    def __enter__(self) -> "StepDriver":
+        self.begin()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.finish(exc if not isinstance(exc, StopTraining) else None)
+        return isinstance(exc, StopTraining)

@@ -1,0 +1,48 @@
+"""VQMC-as-a-service: a long-lived multi-tenant solver server.
+
+The repo can train, checkpoint, recover, and trace — this package makes
+those capabilities *servable*: a stdlib-only job server
+(:class:`~repro.serve.server.VQMCServer`) holding a priority queue with
+planner-driven admission control (:mod:`repro.serve.jobqueue`), a worker
+pool driving jobs through the re-entrant
+:class:`~repro.core.vqmc.StepDriver`, a warm-model LRU cache with pinning
+(:mod:`repro.serve.cache`), and a request batcher coalescing concurrent
+sample/energy queries into single forward passes
+(:mod:`repro.serve.batcher`). ``tools/serve.py`` is the CLI;
+``docs/serving.md`` documents endpoints, the job lifecycle, and the
+batching-window semantics.
+"""
+
+from repro.serve.batcher import BatcherClosed, PendingQuery, RequestBatcher
+from repro.serve.cache import CacheEntry, WarmModelCache
+from repro.serve.client import ServeAPIError, ServeClient
+from repro.serve.jobqueue import AdmissionError, JobQueue, estimate_job_seconds
+from repro.serve.protocol import (
+    JobSpec,
+    JobState,
+    ModelKey,
+    ProtocolError,
+    QuerySpec,
+)
+from repro.serve.server import Job, VQMCServer, build_trainer
+
+__all__ = [
+    "AdmissionError",
+    "BatcherClosed",
+    "CacheEntry",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "ModelKey",
+    "PendingQuery",
+    "ProtocolError",
+    "QuerySpec",
+    "RequestBatcher",
+    "ServeAPIError",
+    "ServeClient",
+    "VQMCServer",
+    "WarmModelCache",
+    "build_trainer",
+    "estimate_job_seconds",
+]

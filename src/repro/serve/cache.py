@@ -1,0 +1,194 @@
+"""Warm-model cache: LRU over built trainers, with pinning for running jobs.
+
+Building a servable model is expensive relative to serving one query —
+constructing the ansatz, broadcasting/initialising parameters, optionally
+restoring a checkpoint. The server therefore keeps recently used trainers
+*warm*, keyed by the canonical :class:`~repro.serve.protocol.ModelKey`
+``(hamiltonian, ansatz, checkpoint)``, and evicts least-recently-used
+entries when the cache is full.
+
+Pinning: a running training job must never lose its model under it. The
+worker pins the entry for the job's lifetime; eviction skips pinned
+entries unconditionally — if *every* entry is pinned the cache temporarily
+exceeds ``capacity`` rather than evict one (capacity is a target, pins are
+a contract).
+
+Concurrency: each entry carries an ``RLock`` serialising model access at
+step/forward granularity — the training worker holds it across one
+optimisation step, the batcher holds it across one coalesced forward — so
+queries against a model that is *also* training interleave at safe
+boundaries and never observe half-updated parameters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from repro.serve.protocol import ModelKey
+
+__all__ = ["CacheEntry", "WarmModelCache"]
+
+
+class CacheEntry:
+    """One warm trainer plus its serving paraphernalia."""
+
+    def __init__(self, key: ModelKey, vqmc):
+        self.key = key
+        self.vqmc = vqmc
+        #: serialises model access between the training worker (one step)
+        #: and the batcher (one coalesced forward)
+        self.lock = threading.RLock()
+        #: pin count (one per running job using this entry)
+        self.pins = 0
+        #: dedicated serving stream — a fork of the trainer's evaluation
+        #: fork, so queries consume neither the training stream (bit-exact
+        #: resume contract) nor the trainer's own evaluate() draws
+        from repro.core.vqmc import derive_eval_rng
+
+        self.query_rng: np.random.Generator = derive_eval_rng(vqmc.eval_rng)
+
+    @property
+    def pinned(self) -> bool:
+        return self.pins > 0
+
+
+class WarmModelCache:
+    """Thread-safe LRU of :class:`CacheEntry` with pin-aware eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Target number of warm entries. Unpinned LRU entries are evicted
+        when an insert would exceed it; pinned entries never are.
+    metrics:
+        Optional :class:`repro.obs.Metrics`; maintains
+        ``serve.cache.hits`` / ``serve.cache.misses`` /
+        ``serve.cache.evictions`` counters and the ``serve.cache.size``
+        gauge.
+    """
+
+    def __init__(self, capacity: int = 8, metrics=None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[ModelKey, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _gauge_size(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("serve.cache.size").set(float(len(self._entries)))
+
+    def get(
+        self,
+        key: ModelKey,
+        factory: Callable[[], object] | None = None,
+        pin: bool = False,
+    ) -> CacheEntry | None:
+        """Return the warm entry for ``key``, building it via ``factory``
+        on a miss (``None`` on a miss without a factory).
+
+        The factory runs *outside* the cache lock — building a model can
+        take arbitrarily long and must not block unrelated lookups. Two
+        racing builders for the same key are resolved first-insert-wins
+        (the loser's build is discarded; both callers get one entry).
+
+        ``pin=True`` pins the returned entry atomically with the lookup /
+        insert. A separate ``get(...)`` + :meth:`pin` pair is racy: a full
+        cache of pinned entries evicts the fresh insert before ``pin`` can
+        reach it.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                if pin:
+                    entry.pins += 1
+                self._count("serve.cache.hits")
+                return entry
+            self.misses += 1
+            self._count("serve.cache.misses")
+        if factory is None:
+            return None
+        built = CacheEntry(key, factory())
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:  # lost the build race — keep the winner
+                self._entries.move_to_end(key)
+                if pin:
+                    entry.pins += 1
+                return entry
+            if pin:
+                built.pins += 1
+            self._entries[key] = built
+            self._evict_over_capacity()
+            self._gauge_size()
+        return built
+
+    def _evict_over_capacity(self) -> None:
+        # caller holds self._lock
+        while len(self._entries) > self.capacity:
+            victim_key = None
+            for key, entry in self._entries.items():  # LRU -> MRU order
+                if not entry.pinned:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                return  # everything pinned: exceed capacity, never break a pin
+            del self._entries[victim_key]
+            self.evictions += 1
+            self._count("serve.cache.evictions")
+
+    def pin(self, key: ModelKey) -> None:
+        """Protect ``key`` from eviction (counted; see :meth:`unpin`)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                raise KeyError(f"cannot pin absent cache entry {key}")
+            entry.pins += 1
+
+    def unpin(self, key: ModelKey) -> None:
+        """Release one pin; entries may be evicted again at zero pins.
+
+        Unpinning may immediately evict if the cache is over capacity
+        (pins forced it past the target earlier).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return  # already evicted after its pins dropped — harmless
+            entry.pins = max(0, entry.pins - 1)
+            self._evict_over_capacity()
+            self._gauge_size()
+
+    def keys(self) -> list[ModelKey]:
+        """Current keys, LRU first (for introspection endpoints)."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "pinned": sum(1 for e in self._entries.values() if e.pinned),
+            }

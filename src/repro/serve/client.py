@@ -1,0 +1,108 @@
+"""Stdlib HTTP client for the VQMC job server (``urllib.request`` only).
+
+Thin by design: every method is one endpoint, payloads are the raw JSON
+dicts documented in ``docs/serving.md``. Server-side errors surface as
+:class:`ServeAPIError` carrying the HTTP status and the server's ``error``
+field, so callers can distinguish a 400 (bad spec) from a 429 (admission
+rejection) without parsing strings.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServeAPIError", "ServeClient"]
+
+
+class ServeAPIError(RuntimeError):
+    """Non-2xx response from the server."""
+
+    def __init__(self, status: int, error: str, detail: dict | None = None):
+        self.status = status
+        self.error = error
+        self.detail = detail or {}
+        super().__init__(f"HTTP {status}: {error}")
+
+
+class ServeClient:
+    """Client for one server base URL (e.g. ``http://127.0.0.1:8642``)."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except Exception:  # noqa: BLE001 — error body is best-effort
+                body = {}
+            raise ServeAPIError(
+                exc.code, body.get("error", exc.reason), body.get("detail")
+            ) from exc
+
+    # -- endpoints ----------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def submit(self, spec: dict) -> dict:
+        """``POST /jobs`` — returns ``{"id", "state", "estimated_seconds"}``."""
+        return self._request("POST", "/jobs", spec)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def sample(self, query: dict) -> dict:
+        return self._request("POST", "/sample", query)
+
+    def energy(self, query: dict) -> dict:
+        return self._request("POST", "/energy", query)
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    # -- conveniences -------------------------------------------------------------
+
+    def wait(
+        self, job_id: str, timeout: float = 120.0, poll_s: float = 0.1
+    ) -> dict:
+        """Poll ``status`` until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("completed", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s "
+                    f"(step {status['step']}/{status['iterations']})"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,174 @@
+"""Priority job queue with planner-driven admission control.
+
+Admission happens at the door, not in the worker: a submission is costed
+with the calibrated cluster models (:func:`repro.cluster.planner.
+plan_parallelism` — the same per-iteration estimates the paper's scaling
+analysis is built on) and rejected immediately when it would oversubscribe
+the server:
+
+- ``max_pending`` — bound on queued-but-not-running jobs (backpressure);
+- ``max_job_seconds`` — bound on one job's *estimated* total compute
+  (``best_plan.iteration_time × iterations``); absurdly large requests
+  never enter the queue;
+- ``max_backlog_seconds`` — bound on the queue's aggregate estimated
+  backlog per worker; the server stops promising work it cannot schedule.
+
+Rejected submissions raise :class:`AdmissionError` (HTTP 429) carrying the
+measured reason, so clients can re-shape the request instead of guessing.
+
+Ordering: higher ``priority`` first, FIFO within a priority class (a
+monotonic sequence number breaks ties — no starvation inside a class).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+from repro.serve.protocol import JobSpec
+
+__all__ = ["AdmissionError", "JobQueue", "estimate_job_seconds"]
+
+
+class AdmissionError(RuntimeError):
+    """Submission rejected by admission control (maps to HTTP 429)."""
+
+    def __init__(self, reason: str, detail: dict | None = None):
+        self.reason = reason
+        self.detail = detail or {}
+        super().__init__(reason)
+
+
+def estimate_job_seconds(spec: JobSpec) -> float:
+    """Planner cost estimate for one job: best-plan iteration time × steps.
+
+    Uses the single-device plan (the serve worker pool is a thread pool,
+    not a GPU grid), so the estimate is the calibrated serial cost model —
+    coarse, but monotone in the quantities that matter for admission
+    (n, batch size, iterations).
+    """
+    from repro.cluster.planner import plan_parallelism
+
+    plans = plan_parallelism(spec.n, spec.batch_size)
+    best = plans[0]
+    return float(best.iteration_time) * spec.iterations
+
+
+class JobQueue:
+    """Thread-safe priority queue of admitted jobs.
+
+    Items are opaque job records exposing ``.spec`` (a :class:`JobSpec`)
+    and ``.id``; the queue never mutates them.
+    """
+
+    def __init__(
+        self,
+        max_pending: int = 64,
+        max_job_seconds: float | None = None,
+        max_backlog_seconds: float | None = None,
+        workers: int = 1,
+        estimator=estimate_job_seconds,
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self.max_job_seconds = max_job_seconds
+        self.max_backlog_seconds = max_backlog_seconds
+        self.workers = max(1, workers)
+        self.estimator = estimator
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._heap: list[tuple[int, int, object]] = []
+        self._seq = 0
+        self._backlog_seconds = 0.0
+        self.admitted = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    # -- admission ----------------------------------------------------------------
+
+    def admit(self, job) -> float:
+        """Cost, admit, and enqueue ``job``; returns its estimated seconds.
+
+        Raises :class:`AdmissionError` when any admission bound trips.
+        The estimate is attached to the job as ``job.estimated_seconds``.
+        """
+        estimate = float(self.estimator(job.spec))
+        with self._cond:
+            if len(self._heap) >= self.max_pending:
+                self.rejected += 1
+                raise AdmissionError(
+                    "queue full",
+                    {"pending": len(self._heap), "max_pending": self.max_pending},
+                )
+            if self.max_job_seconds is not None and estimate > self.max_job_seconds:
+                self.rejected += 1
+                raise AdmissionError(
+                    "job too large",
+                    {
+                        "estimated_seconds": estimate,
+                        "max_job_seconds": self.max_job_seconds,
+                    },
+                )
+            if self.max_backlog_seconds is not None:
+                projected = (self._backlog_seconds + estimate) / self.workers
+                if projected > self.max_backlog_seconds:
+                    self.rejected += 1
+                    raise AdmissionError(
+                        "backlog over budget",
+                        {
+                            "projected_backlog_seconds": projected,
+                            "max_backlog_seconds": self.max_backlog_seconds,
+                        },
+                    )
+            job.estimated_seconds = estimate
+            heapq.heappush(self._heap, (-job.spec.priority, self._seq, job))
+            self._seq += 1
+            self._backlog_seconds += estimate
+            self.admitted += 1
+            self._cond.notify()
+        return estimate
+
+    # -- consumption --------------------------------------------------------------
+
+    def get(self, timeout: float | None = None):
+        """Pop the highest-priority job, or ``None`` on timeout."""
+        with self._cond:
+            if not self._heap:
+                self._cond.wait(timeout)
+            if not self._heap:
+                return None
+            _, _, job = heapq.heappop(self._heap)
+            self._backlog_seconds = max(
+                0.0, self._backlog_seconds - getattr(job, "estimated_seconds", 0.0)
+            )
+            return job
+
+    def remove(self, job_id: str) -> bool:
+        """Drop a still-queued job (cancellation before it ran)."""
+        with self._cond:
+            for i, (_, _, job) in enumerate(self._heap):
+                if job.id == job_id:
+                    self._heap[i] = self._heap[-1]
+                    self._heap.pop()
+                    heapq.heapify(self._heap)
+                    self._backlog_seconds = max(
+                        0.0,
+                        self._backlog_seconds
+                        - getattr(job, "estimated_seconds", 0.0),
+                    )
+                    return True
+        return False
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "pending": len(self._heap),
+                "max_pending": self.max_pending,
+                "backlog_seconds": self._backlog_seconds,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+            }

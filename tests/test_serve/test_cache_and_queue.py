@@ -1,0 +1,158 @@
+"""Warm-model cache (LRU + pinning) and the admission-controlled job queue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import WarmModelCache
+from repro.serve.jobqueue import AdmissionError, JobQueue
+from repro.serve.protocol import JobSpec, ModelKey
+
+
+class FakeTrainer:
+    """Just enough trainer for a CacheEntry: an eval RNG to fork from."""
+
+    def __init__(self, seed=0):
+        self.eval_rng = np.random.default_rng(seed)
+
+
+def key(tag: str) -> ModelKey:
+    return ModelKey(hamiltonian=("tim", 6, 0), ansatz=("made", 6, 8, hash(tag) % 97),
+                    checkpoint=tag)
+
+
+class TestWarmModelCache:
+    def test_lru_eviction_order(self):
+        cache = WarmModelCache(capacity=2)
+        cache.get(key("a"), FakeTrainer)
+        cache.get(key("b"), FakeTrainer)
+        cache.get(key("a"))  # touch a: b becomes LRU
+        cache.get(key("c"), FakeTrainer)
+        assert cache.keys() == [key("a"), key("c")]
+        assert cache.evictions == 1
+
+    def test_hit_returns_same_entry(self):
+        cache = WarmModelCache(capacity=2)
+        first = cache.get(key("a"), FakeTrainer)
+        again = cache.get(key("a"), FakeTrainer)
+        assert again is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_miss_without_factory_is_none(self):
+        assert WarmModelCache().get(key("absent")) is None
+
+    def test_pinned_entry_is_never_evicted(self):
+        """The acceptance property: a running job's model survives any
+        amount of cache pressure."""
+        cache = WarmModelCache(capacity=2)
+        cache.get(key("job"), FakeTrainer)
+        cache.pin(key("job"))
+        for tag in "abcdefgh":
+            cache.get(key(tag), FakeTrainer)
+        assert key("job") in cache.keys()
+        assert len(cache) <= cache.capacity
+
+    def test_all_pinned_exceeds_capacity_rather_than_break_a_pin(self):
+        cache = WarmModelCache(capacity=1)
+        cache.get(key("a"), FakeTrainer, pin=True)
+        cache.get(key("b"), FakeTrainer, pin=True)
+        assert len(cache) == 2  # over capacity, both pins intact
+        assert cache.stats()["pinned"] == 2
+
+    def test_atomic_pin_survives_where_separate_pin_races(self):
+        """With the cache full of pinned entries, an unpinned insert is
+        evicted immediately — get(pin=True) is the only safe idiom."""
+        cache = WarmModelCache(capacity=1)
+        cache.get(key("a"), FakeTrainer, pin=True)
+        cache.get(key("b"), FakeTrainer)  # evicted before pin() could land
+        with pytest.raises(KeyError):
+            cache.pin(key("b"))
+        entry = cache.get(key("c"), FakeTrainer, pin=True)
+        assert entry.pinned and key("c") in cache.keys()
+
+    def test_unpin_restores_evictability(self):
+        cache = WarmModelCache(capacity=1)
+        cache.get(key("a"), FakeTrainer)
+        cache.pin(key("a"))
+        cache.get(key("b"), FakeTrainer)  # over capacity while a is pinned
+        cache.unpin(key("a"))  # drops back to capacity
+        assert len(cache) == 1
+
+    def test_pin_absent_key_raises(self):
+        with pytest.raises(KeyError):
+            WarmModelCache().pin(key("ghost"))
+
+    def test_entry_query_rng_is_independent_fork(self):
+        cache = WarmModelCache()
+        entry = cache.get(key("a"), FakeTrainer)
+        before = entry.vqmc.eval_rng.bit_generator.state
+        entry.query_rng.random(8)
+        assert entry.vqmc.eval_rng.bit_generator.state == before
+
+
+class _Job:
+    def __init__(self, job_id, **spec):
+        self.id = job_id
+        self.spec = JobSpec.from_json(spec)
+        self.estimated_seconds = 0.0
+
+
+class TestJobQueue:
+    def test_priority_then_fifo(self):
+        queue = JobQueue(estimator=lambda spec: 1.0)
+        queue.admit(_Job("low-1", priority=0))
+        queue.admit(_Job("hi-1", priority=5))
+        queue.admit(_Job("low-2", priority=0))
+        queue.admit(_Job("hi-2", priority=5))
+        order = [queue.get(timeout=0).id for _ in range(4)]
+        assert order == ["hi-1", "hi-2", "low-1", "low-2"]
+
+    def test_queue_full(self):
+        queue = JobQueue(max_pending=1, estimator=lambda spec: 1.0)
+        queue.admit(_Job("a"))
+        with pytest.raises(AdmissionError, match="queue full"):
+            queue.admit(_Job("b"))
+        assert queue.rejected == 1
+
+    def test_job_too_large(self):
+        queue = JobQueue(max_job_seconds=10.0,
+                         estimator=lambda spec: spec.iterations * 1.0)
+        queue.admit(_Job("small", iterations=5))
+        with pytest.raises(AdmissionError, match="job too large"):
+            queue.admit(_Job("huge", iterations=50))
+
+    def test_backlog_budget_scales_with_workers(self):
+        one = JobQueue(max_backlog_seconds=10.0, workers=1,
+                       estimator=lambda spec: 6.0)
+        one.admit(_Job("a"))
+        with pytest.raises(AdmissionError, match="backlog over budget"):
+            one.admit(_Job("b"))
+        two = JobQueue(max_backlog_seconds=10.0, workers=2,
+                       estimator=lambda spec: 6.0)
+        two.admit(_Job("a"))
+        two.admit(_Job("b"))  # 12s / 2 workers = within budget
+
+    def test_estimate_attached_and_backlog_released(self):
+        queue = JobQueue(estimator=lambda spec: 3.5)
+        job = _Job("a")
+        assert queue.admit(job) == 3.5
+        assert job.estimated_seconds == 3.5
+        assert queue.stats()["backlog_seconds"] == 3.5
+        queue.get(timeout=0)
+        assert queue.stats()["backlog_seconds"] == 0.0
+
+    def test_remove_queued_job(self):
+        queue = JobQueue(estimator=lambda spec: 1.0)
+        queue.admit(_Job("a"))
+        queue.admit(_Job("b"))
+        assert queue.remove("a")
+        assert not queue.remove("a")
+        assert queue.get(timeout=0).id == "b"
+
+    def test_planner_estimator_is_monotone_in_iterations(self):
+        small = JobSpec.from_json({"n": 10, "iterations": 10})
+        large = JobSpec.from_json({"n": 10, "iterations": 1000})
+        from repro.serve.jobqueue import estimate_job_seconds
+
+        assert estimate_job_seconds(large) > estimate_job_seconds(small) > 0

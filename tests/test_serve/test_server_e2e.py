@@ -1,0 +1,293 @@
+"""End-to-end server tests: lifecycle, concurrency, cancel/resume, crashes.
+
+Everything runs against a real :class:`VQMCServer` (worker threads, warm
+cache, batcher); the HTTP tests additionally go through a real
+``ThreadingHTTPServer`` on an ephemeral port via :class:`ServeClient`.
+Jobs are tiny (n=6, tens of iterations) so the whole module stays in the
+tier-1 budget.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import load_checkpoint, verify_checkpoint
+
+pytestmark = pytest.mark.serve
+from repro.serve import (
+    AdmissionError,
+    ProtocolError,
+    ServeAPIError,
+    ServeClient,
+    VQMCServer,
+    build_trainer,
+)
+
+SPEC = {
+    "problem": "tim", "n": 6, "arch": "made", "hidden": 8,
+    "seed": 3, "iterations": 5, "batch_size": 16, "checkpoint_every": 2,
+}
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+
+
+def wait_terminal(server: VQMCServer, job_id: str, timeout: float = 60.0):
+    deadline = time.monotonic() + timeout
+    job = server.job(job_id)
+    while job.state not in ("completed", "failed", "cancelled"):
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"job {job_id} stuck in {job.state}")
+        time.sleep(0.01)
+    return job
+
+
+def wait_step(server: VQMCServer, job_id: str, step: int, timeout: float = 60.0):
+    deadline = time.monotonic() + timeout
+    job = server.job(job_id)
+    while job.step < step and job.state not in ("completed", "failed", "cancelled"):
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"job {job_id} stuck at step {job.step}")
+        time.sleep(0.005)
+    return job
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = VQMCServer(tmp_path / "serve", workers=2, batch_window=4,
+                     batch_linger_s=0.01)
+    yield srv
+    srv.shutdown()
+
+
+class TestJobLifecycle:
+    def test_submit_run_result(self, server):
+        job = server.submit(dict(SPEC))
+        assert job.id.startswith("job")
+        done = wait_terminal(server, job.id)
+        assert done.state == "completed", done.error
+        assert done.step == SPEC["iterations"]
+        assert done.result is not None and "mean" in done.result
+        assert done.health == "OK"
+        status = done.status_json()
+        assert status["run_seconds"] is not None
+        assert status["state"] == "completed"
+
+    def test_server_side_training_matches_local_run(self, server):
+        """A served job is bit-identical to the equivalent one-shot run."""
+        job = server.submit(dict(SPEC))
+        wait_terminal(server, job.id)
+        local = build_trainer("tim", 6, 0, "made", 8, seed=3)
+        local.run(SPEC["iterations"], batch_size=SPEC["batch_size"])
+        entry = server.cache.get(job.spec.model_key())
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            local.model.flat_parameters(), entry.vqmc.model.flat_parameters()
+        )
+
+    def test_invalid_spec_rejected_before_queueing(self, server):
+        with pytest.raises(ProtocolError):
+            server.submit({"problem": "sudoku"})
+        assert server.jobs() == []
+
+    def test_admission_rejection_is_not_a_job(self, tmp_path):
+        srv = VQMCServer(tmp_path / "s", workers=1, max_job_seconds=1e-12)
+        try:
+            with pytest.raises(AdmissionError, match="job too large"):
+                srv.submit(dict(SPEC))
+            assert srv.jobs() == []
+        finally:
+            srv.shutdown()
+
+
+class TestCancelAndResume:
+    def test_cancel_mid_run_leaves_restorable_checkpoint(self, server, tmp_path):
+        spec = dict(SPEC, iterations=3000, checkpoint_every=1)
+        job = server.submit(spec)
+        wait_step(server, job.id, 2)
+        server.cancel(job.id)
+        done = wait_terminal(server, job.id)
+        assert done.state == "cancelled"
+        assert done.checkpoint_path is not None
+        ckpt = Path(done.checkpoint_path)
+        assert ckpt.exists()
+        verify_checkpoint(ckpt)  # raises on corruption
+        fresh = build_trainer("tim", 6, 0, "made", 8, seed=3)
+        load_checkpoint(fresh, ckpt)
+        assert fresh.global_step == done.step
+
+    def test_resume_continues_from_cancelled_checkpoint(self, server):
+        spec = dict(SPEC, iterations=3000, checkpoint_every=1)
+        job = server.submit(spec)
+        wait_step(server, job.id, 2)
+        server.cancel(job.id)
+        cancelled = wait_terminal(server, job.id)
+
+        target = cancelled.step + 2
+        resumed = server.submit(dict(spec, iterations=target, resume=True))
+        done = wait_terminal(server, resumed.id)
+        assert done.state == "completed", done.error
+        assert done.step == target
+
+    def test_cancel_while_queued_never_runs(self, tmp_path):
+        srv = VQMCServer(tmp_path / "s", workers=1)
+        try:
+            blocker = srv.submit(dict(SPEC, iterations=2000))
+            queued = srv.submit(dict(SPEC, seed=4, iterations=2000))
+            srv.cancel(queued.id)
+            assert wait_terminal(srv, queued.id).state == "cancelled"
+            srv.cancel(blocker.id)
+            wait_terminal(srv, blocker.id)
+            assert queued._started is None  # never picked up by a worker
+        finally:
+            srv.shutdown()
+
+
+class TestCachePinning:
+    def test_running_jobs_model_survives_cache_pressure(self, tmp_path):
+        """LRU must never evict the model under a running job."""
+        srv = VQMCServer(tmp_path / "s", workers=1, cache_capacity=1,
+                         batch_linger_s=0.0)
+        try:
+            job = srv.submit(dict(SPEC, iterations=600))
+            wait_step(srv, job.id, 1)
+            job_key = job.spec.model_key()
+            # Hammer the 1-slot cache with queries for OTHER models while
+            # the job trains.
+            for seed in (11, 12, 13):
+                reply = srv.query(
+                    {"problem": "tim", "n": 6, "arch": "made", "hidden": 8,
+                     "seed": seed, "batch_size": 4}, "energy")
+                assert reply["count"] == 4
+                assert job_key in srv.cache.keys()  # pinned: never evicted
+            assert srv.cache.evictions > 0  # pressure was real
+            srv.cancel(job.id)
+            done = wait_terminal(srv, job.id)
+            assert done.state in ("cancelled", "completed")
+        finally:
+            srv.shutdown()
+
+
+class TestCrashPath:
+    def test_injected_fault_fails_job_with_flight_dump(self, server):
+        job = server.submit(dict(SPEC, iterations=50, inject_fault_at=3))
+        done = wait_terminal(server, job.id)
+        assert done.state == "failed"
+        assert "injected server fault" in done.error
+        assert done.flight_dump is not None
+        dump = Path(done.flight_dump)
+        assert dump.exists() and dump.name == "flight.rank000.json"
+
+    def test_monitor_attributes_the_crash(self, server):
+        """tools/monitor.py must name rank 0 and the injected cause."""
+        job = server.submit(dict(SPEC, iterations=50, inject_fault_at=2))
+        done = wait_terminal(server, job.id)
+        proc = subprocess.run(
+            [sys.executable, str(TOOLS / "monitor.py"), "flight",
+             done.flight_dump, "--json"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 1, proc.stderr  # failed rank recorded
+        doc = json.loads(proc.stdout)
+        assert "0" in doc["failed_ranks"]
+        assert doc["failed_ranks"]["0"]["cause"] == "RuntimeError"
+        assert doc["failed_ranks"]["0"]["last_completed_step"] is not None
+
+    def test_worker_survives_a_failed_job(self, server):
+        bad = server.submit(dict(SPEC, inject_fault_at=1))
+        wait_terminal(server, bad.id)
+        good = server.submit(dict(SPEC, seed=5))
+        assert wait_terminal(server, good.id).state == "completed"
+
+
+class TestHTTP:
+    @pytest.fixture
+    def client(self, server):
+        port = server.start_http()
+        return ServeClient(f"http://127.0.0.1:{port}", timeout=30.0)
+
+    def test_full_lifecycle_over_http(self, client):
+        assert client.healthz()["status"] == "ok"
+        reply = client.submit(dict(SPEC))
+        status = client.wait(reply["id"], timeout=60.0)
+        assert status["state"] == "completed"
+        result = client.result(reply["id"])
+        assert "mean" in result["result"]
+        assert any(j["id"] == reply["id"] for j in client.jobs())
+
+    def test_error_mapping(self, client):
+        with pytest.raises(ServeAPIError) as exc_info:
+            client.submit({"problem": "sudoku"})
+        assert exc_info.value.status == 400
+        with pytest.raises(ServeAPIError) as exc_info:
+            client.status("job999999")
+        assert exc_info.value.status == 404
+        with pytest.raises(ServeAPIError) as exc_info:
+            client.result("job999999")
+        assert exc_info.value.status == 404
+
+    def test_concurrent_clients_get_per_request_correct_results(
+        self, server, client
+    ):
+        """The satellite e2e: B threaded HTTP clients, distinct batch
+        sizes, every reply sliced from a coalesced forward is correct."""
+        job = client.submit(dict(SPEC))
+        client.wait(job["id"], timeout=60.0)
+        before = server.batcher.forwards
+
+        sizes = [2 + i for i in range(8)]
+        replies: list[dict | None] = [None] * len(sizes)
+        errors: list[BaseException] = []
+
+        def fire(i: int) -> None:
+            try:
+                replies[i] = client.energy(
+                    {"job_id": job["id"], "batch_size": sizes[i]}
+                )
+            except BaseException as exc:  # noqa: BLE001 — assert below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fire, args=(i,))
+                   for i in range(len(sizes))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert [r["count"] for r in replies] == sizes
+        # Coalescing happened through real concurrent HTTP requests: fewer
+        # forwards than requests (the exact ceil(B/window) count is pinned
+        # deterministically in test_batcher.py).
+        assert server.batcher.forwards - before < len(sizes)
+
+    def test_sample_endpoint_round_trips_configurations(self, client):
+        reply = client.sample(
+            {"problem": "tim", "n": 6, "arch": "made", "hidden": 8,
+             "seed": 7, "batch_size": 3})
+        assert len(reply["samples"]) == 3
+        assert all(len(row) == 6 for row in reply["samples"])
+
+    def test_queries_leave_training_bit_exact(self, server, client):
+        """Acceptance: interleaved server-side queries must not perturb
+        the training stream (same fix as VQMC.evaluate, server-scale)."""
+        job = client.submit(dict(SPEC, iterations=40, batch_size=16))
+        # Hammer the training model with queries while it runs.
+        for _ in range(5):
+            client.energy({"job_id": job["id"], "batch_size": 8})
+        client.wait(job["id"], timeout=60.0)
+
+        import numpy as np
+
+        local = build_trainer("tim", 6, 0, "made", 8, seed=3)
+        local.run(40, batch_size=16)
+        entry = server.cache.get(server.job(job["id"]).spec.model_key())
+        np.testing.assert_array_equal(
+            local.model.flat_parameters(), entry.vqmc.model.flat_parameters()
+        )

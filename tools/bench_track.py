@@ -124,6 +124,10 @@ HEADLINES: dict[str, list[Metric]] = {
         Metric("auto_incremental_pass_equivalents",
                "results[-1].auto_incremental_pass_equivalents", "lower", DET),
     ],
+    "server_throughput": [
+        Metric("throughput_ratio", "headline.throughput_ratio", "higher", TIME),
+        Metric("queries_per_second", "headline.queries_per_second", "higher", TIME),
+    ],
     "table1_training_time": [
         Metric("made_auto_seconds", "results[-1].made_auto_seconds", "lower", TIME),
     ],
